@@ -1,0 +1,78 @@
+"""E6 — substrate characterisation: SOAP/XML vs CORBA/GIOP wire costs.
+
+Quantifies the difference that drives the Table 1 gap: for the same logical
+call, how many bytes travel in each encoding and how expensive encode+decode
+is.  The paper's §2 background (text over HTTP vs binary over IIOP) predicts
+SOAP messages to be several times larger; the benchmark asserts that shape.
+
+Run with:  pytest benchmarks/bench_encoding.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corba.cdr import marshal_values, unmarshal_values
+from repro.corba.giop import RequestMessage, parse_message
+from repro.experiments.encoding_costs import (
+    format_encoding_comparison,
+    run_encoding_comparison,
+)
+from repro.soap.envelope import SoapRequest
+
+
+@pytest.mark.benchmark(group="encoding-size")
+def test_message_size_comparison(benchmark):
+    results = benchmark(run_encoding_comparison)
+    assert all(result.soap_total > result.giop_total for result in results)
+    print("\n" + format_encoding_comparison(results))
+    for result in results:
+        benchmark.extra_info[result.label] = {
+            "soap_bytes": result.soap_total,
+            "giop_bytes": result.giop_total,
+            "ratio": round(result.size_ratio, 2),
+        }
+
+
+@pytest.mark.benchmark(group="encoding-cpu")
+def test_soap_envelope_encode_decode(benchmark):
+    """Wall-clock cost of one SOAP request encode + decode."""
+    arguments = ("hello from the client", 42, [1.5, 2.5, 3.5], True)
+
+    def roundtrip():
+        xml = SoapRequest.for_call("echo", arguments, namespace="urn:bench").to_xml()
+        return SoapRequest.from_xml(xml)
+
+    parsed = benchmark(roundtrip)
+    assert parsed.operation == "echo"
+
+
+@pytest.mark.benchmark(group="encoding-cpu")
+def test_giop_request_marshal_unmarshal(benchmark):
+    """Wall-clock cost of one GIOP request marshal + parse."""
+    arguments = ("hello from the client", 42, [1.5, 2.5, 3.5], True)
+
+    def roundtrip():
+        message = RequestMessage(1, "EchoService", "echo", marshal_values(arguments))
+        parsed = parse_message(message.to_bytes())
+        return unmarshal_values(parsed.arguments_cdr)
+
+    values = benchmark(roundtrip)
+    assert values[1] == 42
+
+
+@pytest.mark.benchmark(group="encoding-cpu")
+def test_large_payload_soap_vs_giop_cpu(benchmark):
+    """Encode/decode a 4 KiB string payload in both encodings back to back,
+    so the per-byte cost asymmetry is visible in one number."""
+    payload = "x" * 4096
+
+    def both():
+        soap_xml = SoapRequest.for_call("store", (payload,), namespace="urn:bench").to_xml()
+        SoapRequest.from_xml(soap_xml)
+        giop = RequestMessage(1, "Store", "store", marshal_values((payload,))).to_bytes()
+        parse_message(giop)
+        return len(soap_xml), len(giop)
+
+    soap_size, giop_size = benchmark(both)
+    assert soap_size > giop_size

@@ -1,0 +1,40 @@
+"""E2 — Figure 7: active publishing leaves most interleavings inconsistent.
+
+Regenerates the Figure 7 analysis: with independent publication and
+client-update paths, only the combinations (1, i), (1, ii) and (2, ii) make
+the server interface change visible to the client developer when the error is
+displayed.
+
+Run with:  pytest benchmarks/bench_fig7_active_publishing.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol import ActivePublishingExperiment, run_figure7_matrix
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_active_publishing_matrix(benchmark):
+    results = benchmark(run_figure7_matrix)
+    assert len(results) == 9
+
+    consistent = {result.label for result in results if result.consistent}
+    expected = ActivePublishingExperiment.expected_consistent_labels()
+    assert consistent == expected
+
+    print("\nFigure 7 — active publishing (consistent combinations marked *)")
+    for result in results:
+        marker = "*" if result.consistent else " "
+        print(f"  {marker} {result.label:8s} {result.detail}")
+    benchmark.extra_info["consistent_combinations"] = sorted(consistent)
+    benchmark.extra_info["consistent_count"] = len(consistent)
+    benchmark.extra_info["total_combinations"] = len(results)
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_single_combination_classification(benchmark):
+    experiment = ActivePublishingExperiment()
+    result = benchmark(experiment.run_single, "2", "ii")
+    assert result.consistent

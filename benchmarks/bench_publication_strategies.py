@@ -1,0 +1,87 @@
+"""E4 — §5.6 ablation: stable-timeout vs change-driven vs polling publication.
+
+Replays a scripted editing session (bursts of interface edits separated by
+think time) under the three publication strategies and compares the number of
+interface generations/publications, the number of *transient* publications
+(interfaces that never survive a burst) and the staleness window after the
+last edit.  The paper's stable-timeout mechanism should publish no transient
+interfaces while still converging on the final interface.
+
+Run with:  pytest benchmarks/bench_publication_strategies.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sde.publisher import (
+    STRATEGY_CHANGE_DRIVEN,
+    STRATEGY_POLLING,
+    STRATEGY_STABLE_TIMEOUT,
+)
+from repro.experiments.publication_strategies import (
+    format_strategy_comparison,
+    run_publication_strategy_comparison,
+    run_single_strategy,
+)
+
+
+def _record(benchmark, result):
+    benchmark.extra_info["strategy"] = result.strategy
+    benchmark.extra_info["publications"] = result.publications
+    benchmark.extra_info["transient_publications"] = result.transient_publications
+    benchmark.extra_info["staleness_after_last_edit_s"] = (
+        round(result.staleness_after_last_edit, 3)
+        if result.staleness_after_last_edit != float("inf")
+        else "never"
+    )
+
+
+@pytest.mark.benchmark(group="publication-strategies")
+def test_stable_timeout_strategy(benchmark):
+    result = benchmark.pedantic(
+        run_single_strategy, args=(STRATEGY_STABLE_TIMEOUT,), rounds=1, iterations=1
+    )
+    _record(benchmark, result)
+    assert result.transient_publications == 0
+    assert result.final_interface_published
+
+
+@pytest.mark.benchmark(group="publication-strategies")
+def test_change_driven_strategy(benchmark):
+    result = benchmark.pedantic(
+        run_single_strategy, args=(STRATEGY_CHANGE_DRIVEN,), rounds=1, iterations=1
+    )
+    _record(benchmark, result)
+    assert result.transient_publications > 0
+    assert result.final_interface_published
+
+
+@pytest.mark.benchmark(group="publication-strategies")
+def test_polling_strategy(benchmark):
+    result = benchmark.pedantic(
+        run_single_strategy, args=(STRATEGY_POLLING,), rounds=1, iterations=1
+    )
+    _record(benchmark, result)
+    assert result.final_interface_published
+
+
+@pytest.mark.benchmark(group="publication-strategies")
+def test_strategy_comparison_table(benchmark):
+    results = benchmark.pedantic(run_publication_strategy_comparison, rounds=1, iterations=1)
+    by_strategy = {result.strategy: result for result in results}
+    stable = by_strategy[STRATEGY_STABLE_TIMEOUT]
+    change_driven = by_strategy[STRATEGY_CHANGE_DRIVEN]
+
+    # The paper's argument: change-driven publication floods the client with
+    # transient interfaces; the stable-timeout mechanism suppresses them while
+    # still publishing every stable interface.
+    assert stable.publications < change_driven.publications
+    assert stable.transient_publications == 0 < change_driven.transient_publications
+
+    print("\n" + format_strategy_comparison(results))
+    for result in results:
+        benchmark.extra_info[result.strategy] = {
+            "publications": result.publications,
+            "transient": result.transient_publications,
+        }

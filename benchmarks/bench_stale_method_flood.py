@@ -1,0 +1,59 @@
+"""E5 — §5.7 ablation: a rogue client flooding the server with stale calls.
+
+"this algorithm prevents a rogue client from overwhelming the server by
+sending multiple calls to non-existent methods that trigger IDL generation
+needlessly" — the benchmark fires floods of stale calls and checks that the
+number of interface generations stays at (at most) one when the interface
+genuinely changed and zero when it did not.
+
+Run with:  pytest benchmarks/bench_stale_method_flood.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.stale_flood import run_stale_flood
+
+
+@pytest.mark.benchmark(group="stale-flood")
+@pytest.mark.parametrize("stale_calls", [10, 50])
+def test_flood_after_interface_change(benchmark, stale_calls):
+    result = benchmark.pedantic(
+        run_stale_flood, kwargs={"stale_calls": stale_calls}, rounds=1, iterations=1
+    )
+    assert result.non_existent_method_faults == stale_calls
+    # One reactive publication is justified (the interface really changed);
+    # the flood must not trigger any more generations than that.
+    assert result.generations <= 1
+    benchmark.extra_info["stale_calls"] = stale_calls
+    benchmark.extra_info["generations"] = result.generations
+    benchmark.extra_info["generations_per_stale_call"] = round(
+        result.generations_per_stale_call, 4
+    )
+
+
+@pytest.mark.benchmark(group="stale-flood")
+def test_flood_with_current_interface(benchmark):
+    result = benchmark.pedantic(
+        run_stale_flood,
+        kwargs={"stale_calls": 30, "change_interface_first": False},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.non_existent_method_faults == 30
+    assert result.generations == 0
+    benchmark.extra_info["generations"] = result.generations
+
+
+@pytest.mark.benchmark(group="stale-flood")
+def test_fast_flood_during_editing(benchmark):
+    """Stale calls arriving every 10 ms while the developer keeps editing."""
+    result = benchmark.pedantic(
+        run_stale_flood,
+        kwargs={"stale_calls": 40, "interval": 0.01, "publication_timeout": 2.0},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.generations <= 2
+    benchmark.extra_info["generations"] = result.generations

@@ -1,0 +1,84 @@
+"""E1 — Table 1: RTT of RMI calls for SDE servers vs their static baselines.
+
+Regenerates the paper's Table 1 (§7).  Each benchmark measures one of the
+four configurations; the wall-clock time reported by pytest-benchmark is the
+cost of *simulating* the experiment, while the quantity the paper reports —
+the mean simulated round-trip time per call — is attached to the benchmark's
+``extra_info`` and printed as a table at the end of the run.
+
+Run with:  pytest benchmarks/bench_table1_rtt.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table1 import (
+    PAPER_TABLE1_RTT,
+    format_table1,
+    run_sde_corba,
+    run_sde_soap,
+    run_static_corba,
+    run_static_soap,
+    run_table1,
+)
+
+#: Number of measured calls per configuration (the paper averages 100).
+CALLS = 100
+
+
+def _record(benchmark, result):
+    benchmark.extra_info["configuration"] = result.configuration
+    benchmark.extra_info["mean_simulated_rtt_s"] = round(result.mean_rtt, 4)
+    benchmark.extra_info["paper_rtt_s"] = result.paper_rtt
+    assert result.calls == CALLS
+
+
+@pytest.mark.benchmark(group="table1-rtt")
+def test_sde_soap_vs_axis_client(benchmark):
+    """Row 1: SDE SOAP server (live in JPie) called by a static Axis client."""
+    result = benchmark.pedantic(run_sde_soap, args=(CALLS,), rounds=1, iterations=1)
+    _record(benchmark, result)
+    assert result.mean_rtt == pytest.approx(PAPER_TABLE1_RTT["SDE SOAP/Axis"], rel=0.35)
+
+
+@pytest.mark.benchmark(group="table1-rtt")
+def test_static_axis_tomcat_vs_axis_client(benchmark):
+    """Row 2: static Axis/Tomcat server called by a static Axis client."""
+    result = benchmark.pedantic(run_static_soap, args=(CALLS,), rounds=1, iterations=1)
+    _record(benchmark, result)
+    assert result.mean_rtt == pytest.approx(PAPER_TABLE1_RTT["Axis-Tomcat/Axis"], rel=0.35)
+
+
+@pytest.mark.benchmark(group="table1-rtt")
+def test_sde_corba_vs_openorb_client(benchmark):
+    """Row 3: SDE CORBA server (live in JPie) called by a static OpenORB client."""
+    result = benchmark.pedantic(run_sde_corba, args=(CALLS,), rounds=1, iterations=1)
+    _record(benchmark, result)
+    assert result.mean_rtt == pytest.approx(PAPER_TABLE1_RTT["SDE CORBA/OpenORB"], rel=0.35)
+
+
+@pytest.mark.benchmark(group="table1-rtt")
+def test_static_openorb_vs_openorb_client(benchmark):
+    """Row 4: static OpenORB server called by a static OpenORB client."""
+    result = benchmark.pedantic(run_static_corba, args=(CALLS,), rounds=1, iterations=1)
+    _record(benchmark, result)
+    assert result.mean_rtt == pytest.approx(PAPER_TABLE1_RTT["OpenORB/OpenORB"], rel=0.35)
+
+
+@pytest.mark.benchmark(group="table1-rtt")
+def test_full_table_shape(benchmark):
+    """The whole table at once, asserting the paper's qualitative claims."""
+    results = benchmark.pedantic(run_table1, kwargs={"calls": 25}, rounds=1, iterations=1)
+    by_name = {result.configuration: result.mean_rtt for result in results}
+
+    # Shape claim 1: CORBA beats SOAP in both the static and the SDE rows.
+    assert by_name["OpenORB/OpenORB"] < by_name["Axis-Tomcat/Axis"]
+    assert by_name["SDE CORBA/OpenORB"] < by_name["SDE SOAP/Axis"]
+    # Shape claim 2 (§7): SDE overhead is positive but within ~25%.
+    assert 1.0 < by_name["SDE SOAP/Axis"] / by_name["Axis-Tomcat/Axis"] <= 1.25
+    assert 1.0 < by_name["SDE CORBA/OpenORB"] / by_name["OpenORB/OpenORB"] <= 1.25
+
+    print("\n" + format_table1(results))
+    for result in results:
+        benchmark.extra_info[result.configuration] = round(result.mean_rtt, 4)

@@ -1,0 +1,15 @@
+"""Shared configuration for the benchmark harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.ids import reset_global_ids
+
+
+@pytest.fixture(autouse=True)
+def _reset_ids():
+    """Keep generated identifiers deterministic across benchmark rounds."""
+    reset_global_ids()
+    yield
+    reset_global_ids()

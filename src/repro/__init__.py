@@ -1,0 +1,74 @@
+"""``repro`` — live development middleware for SOAP and CORBA servers.
+
+A from-scratch Python reproduction of *Supporting Live Development of SOAP
+and CORBA Servers* (Pallemulle, Goldman & Morgan, WUCSE-2004-75 / ICDCS
+2005).  The package contains:
+
+* the paper's contribution — the **SDE** server development environment
+  (:mod:`repro.core.sde`), the companion **CDE** client environment
+  (:mod:`repro.core.cde`) and the joint consistency protocol
+  (:mod:`repro.core.protocol`);
+* every substrate it depends on, implemented from scratch: a JPie-style
+  dynamic-class environment (:mod:`repro.jpie`), a SOAP/WSDL stack
+  (:mod:`repro.soap`), a CORBA stack with IDL/IOR/GIOP/ORB/DII/DSI
+  (:mod:`repro.corba`), an HTTP substrate and simulated network
+  (:mod:`repro.net`), and a deterministic discrete-event simulation kernel
+  (:mod:`repro.sim`);
+* experiment drivers reproducing every table and figure of the evaluation
+  (:mod:`repro.experiments`), plus a convenience testbed
+  (:mod:`repro.testbed`).
+
+Quickstart
+----------
+
+>>> from repro.testbed import LiveDevelopmentTestbed, OperationSpec
+>>> from repro.rmitypes import INT
+>>> testbed = LiveDevelopmentTestbed()
+>>> calc, _ = testbed.create_soap_server(
+...     "Calculator",
+...     [OperationSpec("add", (("a", INT), ("b", INT)), INT,
+...                    body=lambda self, a, b: a + b)],
+... )
+>>> testbed.publish_now("Calculator")
+>>> client = testbed.connect_soap_client("Calculator")
+>>> client.invoke("add", 2, 3)
+5
+"""
+
+from repro.errors import ReproError
+from repro.interface import InterfaceDescription, OperationSignature, Parameter
+from repro.rmitypes import (
+    ArrayType,
+    BOOLEAN,
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    STRING,
+    StructType,
+    FieldDef,
+    VOID,
+)
+from repro.testbed import LiveDevelopmentTestbed, OperationSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "InterfaceDescription",
+    "OperationSignature",
+    "Parameter",
+    "ArrayType",
+    "StructType",
+    "FieldDef",
+    "INT",
+    "DOUBLE",
+    "FLOAT",
+    "BOOLEAN",
+    "STRING",
+    "CHAR",
+    "VOID",
+    "LiveDevelopmentTestbed",
+    "OperationSpec",
+    "__version__",
+]

@@ -1,0 +1,56 @@
+"""Dynamic Invocation Interface (DII).
+
+CDE's CORBA support is built on "the Dynamic Invocation Interface (DII)
+implementation of OpenORB" (§2.3): instead of compiled stubs, the client
+constructs requests at run time from the operation name and argument list.
+This is what allows the client's view of the server interface to change while
+the client keeps running.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.corba.orb import RemoteObjectReference
+from repro.errors import CorbaError
+
+
+@dataclass
+class DiiRequest:
+    """A dynamically constructed invocation on a remote object."""
+
+    target: RemoteObjectReference
+    operation: str
+    arguments: list[Any] = field(default_factory=list)
+    _invoked: bool = False
+    _result: Any = None
+
+    def add_argument(self, value: Any) -> "DiiRequest":
+        """Append an argument (returns self for chaining)."""
+        if self._invoked:
+            raise CorbaError("cannot add arguments after the request has been invoked")
+        self.arguments.append(value)
+        return self
+
+    def invoke(self) -> Any:
+        """Send the request and return the result (blocking)."""
+        if self._invoked:
+            raise CorbaError("DII request has already been invoked")
+        self._invoked = True
+        self._result = self.target.invoke(self.operation, *self.arguments)
+        return self._result
+
+    @property
+    def result(self) -> Any:
+        """The result of a completed invocation."""
+        if not self._invoked:
+            raise CorbaError("DII request has not been invoked yet")
+        return self._result
+
+
+def create_request(
+    target: RemoteObjectReference, operation: str, *arguments: Any
+) -> DiiRequest:
+    """Convenience factory mirroring CORBA's ``Object::_create_request``."""
+    return DiiRequest(target=target, operation=operation, arguments=list(arguments))

@@ -1,0 +1,128 @@
+"""GIOP message framing over the simulated IIOP transport.
+
+Only the two message kinds the RMI call path needs are implemented: Request
+and Reply (§2.2 considers only the RMI aspect of CORBA).  Messages carry a
+12-byte header (magic, version, message type, body size) followed by a CDR
+body, mirroring real GIOP closely enough that sizes and parse costs behave
+realistically while keeping the implementation compact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.corba.cdr import CdrInputStream, CdrOutputStream
+from repro.errors import GiopError, MarshalError
+
+_MAGIC = b"GIOP"
+_VERSION = (1, 2)
+
+
+class MessageType(IntEnum):
+    """GIOP message types used by the RMI call path."""
+
+    REQUEST = 0
+    REPLY = 1
+
+
+class ReplyStatus(IntEnum):
+    """Status of a GIOP Reply."""
+
+    NO_EXCEPTION = 0
+    USER_EXCEPTION = 1
+    SYSTEM_EXCEPTION = 2
+
+
+@dataclass(frozen=True)
+class RequestMessage:
+    """A GIOP Request: invoke ``operation`` on the object named by ``object_key``."""
+
+    request_id: int
+    object_key: str
+    operation: str
+    arguments_cdr: bytes
+
+    def to_bytes(self) -> bytes:
+        """Serialise header + body."""
+        body = CdrOutputStream()
+        body.write_ulong(self.request_id)
+        body.write_string(self.object_key)
+        body.write_string(self.operation)
+        body.write_bytes(self.arguments_cdr)
+        return _frame(MessageType.REQUEST, body.getvalue())
+
+
+@dataclass(frozen=True)
+class ReplyMessage:
+    """A GIOP Reply carrying a result or an exception."""
+
+    request_id: int
+    status: ReplyStatus
+    body_cdr: bytes
+    exception_type: str = ""
+    exception_detail: str = ""
+
+    def to_bytes(self) -> bytes:
+        """Serialise header + body."""
+        body = CdrOutputStream()
+        body.write_ulong(self.request_id)
+        body.write_ulong(int(self.status))
+        body.write_string(self.exception_type)
+        body.write_string(self.exception_detail)
+        body.write_bytes(self.body_cdr)
+        return _frame(MessageType.REPLY, body.getvalue())
+
+
+def _frame(message_type: MessageType, body: bytes) -> bytes:
+    header = bytearray()
+    header.extend(_MAGIC)
+    header.append(_VERSION[0])
+    header.append(_VERSION[1])
+    header.append(0)  # flags: big-endian
+    header.append(int(message_type))
+    header.extend(len(body).to_bytes(4, "big"))
+    return bytes(header) + body
+
+
+def parse_message(data: bytes) -> RequestMessage | ReplyMessage:
+    """Parse a framed GIOP message into a Request or Reply.
+
+    Raises
+    ------
+    GiopError
+        If the header is malformed, the size field disagrees with the
+        payload, or the body cannot be unmarshalled.
+    """
+    if len(data) < 12:
+        raise GiopError(f"GIOP message too short: {len(data)} bytes")
+    if data[:4] != _MAGIC:
+        raise GiopError(f"bad GIOP magic: {data[:4]!r}")
+    major, minor, _flags, message_type = data[4], data[5], data[6], data[7]
+    if (major, minor) != _VERSION:
+        raise GiopError(f"unsupported GIOP version {major}.{minor}")
+    size = int.from_bytes(data[8:12], "big")
+    body = data[12:]
+    if len(body) != size:
+        raise GiopError(f"GIOP size field says {size} bytes but body has {len(body)}")
+
+    stream = CdrInputStream(body)
+    try:
+        if message_type == MessageType.REQUEST:
+            return RequestMessage(
+                request_id=stream.read_ulong(),
+                object_key=stream.read_string(),
+                operation=stream.read_string(),
+                arguments_cdr=stream.read_bytes(),
+            )
+        if message_type == MessageType.REPLY:
+            return ReplyMessage(
+                request_id=stream.read_ulong(),
+                status=ReplyStatus(stream.read_ulong()),
+                exception_type=stream.read_string(),
+                exception_detail=stream.read_string(),
+                body_cdr=stream.read_bytes(),
+            )
+    except (MarshalError, ValueError) as exc:
+        raise GiopError(f"malformed GIOP body: {exc}") from None
+    raise GiopError(f"unknown GIOP message type {message_type}")

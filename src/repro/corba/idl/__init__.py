@@ -1,0 +1,14 @@
+"""CORBA-IDL generation and parsing.
+
+The CORBA-IDL document "consists of a standard set of elements": a ``module``
+root containing uniquely identified ``interface`` elements, with instance
+variable and method declarations mapped to Java types (§2.2).  This package
+renders an :class:`~repro.interface.InterfaceDescription` into that textual
+form and parses it back — the analogue of the IDL compiler in Figure 2.
+"""
+
+from repro.corba.idl.generator import generate_idl
+from repro.corba.idl.parser import parse_idl
+from repro.corba.idl.mapping import idl_type_name, rmi_type_from_idl
+
+__all__ = ["generate_idl", "parse_idl", "idl_type_name", "rmi_type_from_idl"]

@@ -1,0 +1,70 @@
+"""Rendering an :class:`InterfaceDescription` into a CORBA-IDL document.
+
+The generated document has the structure the paper describes (§2.2): a
+``module`` root element whose name is derived from the namespace, one
+``interface`` per user-defined struct type (attributes only, mirroring the
+IDL-to-Java mapping of instance variables) and one ``interface`` for the
+service itself containing the operation declarations.  Publication metadata
+(interface version, endpoint) is carried in ``#pragma`` lines so the document
+round-trips through :func:`repro.corba.idl.parser.parse_idl`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.corba.idl.mapping import idl_type_name
+from repro.interface import InterfaceDescription, OperationSignature
+from repro.rmitypes import StructType
+
+
+def module_name_for_namespace(namespace: str) -> str:
+    """Derive a legal IDL module identifier from a namespace string."""
+    cleaned = re.sub(r"[^A-Za-z0-9_]+", "_", namespace).strip("_")
+    if not cleaned:
+        cleaned = "Module"
+    if cleaned[0].isdigit():
+        cleaned = "M_" + cleaned
+    return cleaned
+
+
+def generate_idl(description: InterfaceDescription) -> str:
+    """Return the CORBA-IDL document describing ``description``."""
+    lines: list[str] = []
+    lines.append(f"// CORBA-IDL for service {description.service_name}")
+    lines.append(f"#pragma version {description.version}")
+    lines.append(f"#pragma namespace {description.namespace}")
+    if description.endpoint_url:
+        lines.append(f"#pragma endpoint {description.endpoint_url}")
+    lines.append("")
+    lines.append(f"module {module_name_for_namespace(description.namespace)} {{")
+
+    for struct in description.structs:
+        lines.extend(_struct_interface(struct))
+        lines.append("")
+
+    lines.append(f"  interface {description.service_name} {{")
+    for operation in description.operations:
+        lines.append(f"    {_operation_declaration(operation)}")
+    lines.append("  };")
+    lines.append("};")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _struct_interface(struct: StructType) -> list[str]:
+    lines = [f"  interface {struct.name} {{"]
+    for field_def in struct.fields:
+        lines.append(
+            f"    attribute {idl_type_name(field_def.field_type)} {field_def.name};"
+        )
+    lines.append("  };")
+    return lines
+
+
+def _operation_declaration(operation: OperationSignature) -> str:
+    parameters = ", ".join(
+        f"in {idl_type_name(parameter.param_type)} {parameter.name}"
+        for parameter in operation.parameters
+    )
+    return f"{idl_type_name(operation.return_type)} {operation.name}({parameters});"

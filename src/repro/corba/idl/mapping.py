@@ -1,0 +1,82 @@
+"""CORBA-IDL ↔ shared RMI type mapping.
+
+The paper's CORBA-IDL-to-Java mapping permits "Java Strings and primitive
+types int, double, float, char, and boolean, or any Java type that is
+declared by an interface element within the module element" (§2.2).  The
+table below maps those onto IDL type names:
+
+==============  ===============
+RMI type        IDL type
+==============  ===============
+``int``         ``long``
+``double``      ``double``
+``float``       ``float``
+``boolean``     ``boolean``
+``string``      ``string``
+``char``        ``char``
+``void``        ``void``
+``T[]``         ``sequence<T>``
+struct ``S``    ``S`` (interface declared in the module)
+==============  ===============
+"""
+
+from __future__ import annotations
+
+from repro.errors import IdlError
+from repro.rmitypes import (
+    ArrayType,
+    BOOLEAN,
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    PrimitiveType,
+    RmiType,
+    STRING,
+    StructType,
+    TypeRegistry,
+    VOID,
+)
+
+_IDL_BY_PRIMITIVE = {
+    "int": "long",
+    "double": "double",
+    "float": "float",
+    "boolean": "boolean",
+    "string": "string",
+    "char": "char",
+    "void": "void",
+}
+
+_PRIMITIVE_BY_IDL = {
+    "long": INT,
+    "double": DOUBLE,
+    "float": FLOAT,
+    "boolean": BOOLEAN,
+    "string": STRING,
+    "char": CHAR,
+    "void": VOID,
+}
+
+
+def idl_type_name(rmi_type: RmiType) -> str:
+    """Return the IDL spelling of ``rmi_type``."""
+    if isinstance(rmi_type, PrimitiveType):
+        return _IDL_BY_PRIMITIVE[rmi_type.name]
+    if isinstance(rmi_type, ArrayType):
+        return f"sequence<{idl_type_name(rmi_type.element_type)}>"
+    if isinstance(rmi_type, StructType):
+        return rmi_type.name
+    raise IdlError(f"cannot map {rmi_type!r} to an IDL type")
+
+
+def rmi_type_from_idl(name: str, registry: TypeRegistry | None = None) -> RmiType:
+    """Resolve an IDL type spelling back to the shared RMI model."""
+    name = name.strip()
+    if name.startswith("sequence<") and name.endswith(">"):
+        return ArrayType(rmi_type_from_idl(name[len("sequence<"):-1], registry))
+    if name in _PRIMITIVE_BY_IDL:
+        return _PRIMITIVE_BY_IDL[name]
+    if registry is not None and name in registry:
+        return registry.get(name)
+    raise IdlError(f"unknown IDL type {name!r}")

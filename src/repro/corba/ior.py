@@ -1,0 +1,68 @@
+"""Interoperable Object References (IORs).
+
+A CORBA-RMI client "must attain both a CORBA-IDL document as well as an IOR
+in order to establish a communication link with a server" (§2.2).  An IOR
+encodes the repository type id and an IIOP profile (host, port, object key);
+it is rendered in the conventional ``IOR:<hex>`` stringified form so it can
+be published over HTTP by the Interface Server and pasted around by
+developers, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.corba.cdr import CdrInputStream, CdrOutputStream
+from repro.errors import IorError, MarshalError
+
+
+@dataclass(frozen=True)
+class IOR:
+    """An Interoperable Object Reference with a single IIOP profile."""
+
+    type_id: str
+    host: str
+    port: int
+    object_key: str
+
+    def __post_init__(self) -> None:
+        if not self.host:
+            raise IorError("IOR host must not be empty")
+        if not (0 < self.port < 65536):
+            raise IorError(f"IOR port out of range: {self.port}")
+        if not self.object_key:
+            raise IorError("IOR object key must not be empty")
+
+    # -- stringification ------------------------------------------------------
+
+    def stringify(self) -> str:
+        """Render as the ``IOR:<hex>`` stringified form."""
+        stream = CdrOutputStream()
+        stream.write_string(self.type_id)
+        stream.write_string(self.host)
+        stream.write_ulong(self.port)
+        stream.write_string(self.object_key)
+        return "IOR:" + stream.getvalue().hex()
+
+    @classmethod
+    def from_string(cls, text: str) -> "IOR":
+        """Parse the ``IOR:<hex>`` stringified form."""
+        text = text.strip()
+        if not text.startswith("IOR:"):
+            raise IorError(f"stringified IOR must start with 'IOR:', got {text[:16]!r}")
+        try:
+            data = bytes.fromhex(text[len("IOR:"):])
+        except ValueError as exc:
+            raise IorError(f"malformed IOR hex payload: {exc}") from None
+        try:
+            stream = CdrInputStream(data)
+            type_id = stream.read_string()
+            host = stream.read_string()
+            port = stream.read_ulong()
+            object_key = stream.read_string()
+        except MarshalError as exc:
+            raise IorError(f"truncated IOR payload: {exc}") from None
+        return cls(type_id=type_id, host=host, port=port, object_key=object_key)
+
+    def __str__(self) -> str:
+        return self.stringify()

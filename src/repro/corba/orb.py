@@ -1,0 +1,352 @@
+"""Object Request Brokers.
+
+"In a client-server system that uses CORBA-RMI, the Client ORB and the
+Server ORB form the communication endpoints.  They direct invocations and
+results between remote objects located on client and server sides.  ORBs use
+IIOP to communicate over a network." (§2.2)
+
+The :class:`ServerOrb` listens on a simulated IIOP port, parses GIOP
+Requests, locates the servant through the object adapter and sends back GIOP
+Replies.  The :class:`ClientOrb` turns an IOR into a
+:class:`RemoteObjectReference` whose :meth:`~RemoteObjectReference.invoke`
+performs a blocking remote call.  CPU cost for marshalling and dispatch is
+charged to the virtual clock through the optional
+:class:`~repro.net.latency.CostModel`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from repro.corba.cdr import marshal_values, unmarshal_values
+from repro.corba.giop import (
+    MessageType,
+    ReplyMessage,
+    ReplyStatus,
+    RequestMessage,
+    parse_message,
+)
+from repro.corba.ior import IOR
+from repro.corba.poa import PortableObjectAdapter
+from repro.errors import (
+    CorbaError,
+    CorbaSystemException,
+    CorbaUserException,
+    GiopError,
+)
+from repro.net.latency import CostModel
+from repro.net.simnet import Address, Host, Message
+from repro.sim.latch import CompletionLatch
+
+_EPHEMERAL_BASE = 53000
+
+
+class DeferredResult:
+    """A servant result that will be provided later.
+
+    A servant (typically a DSI :class:`~repro.corba.dsi.DynamicServant` used
+    by SDE) may return an instance of this class from ``invoke`` to stall the
+    GIOP reply — for example while the interface publisher catches up with
+    pending changes (§5.7).  Calling :meth:`complete` or :meth:`fail` releases
+    the reply.
+    """
+
+    def __init__(self) -> None:
+        self._done = False
+        self._value: Any = None
+        self._error: BaseException | None = None
+        self._callbacks: list[Any] = []
+
+    @property
+    def completed(self) -> bool:
+        """True once a value or error has been provided."""
+        return self._done
+
+    def complete(self, value: Any) -> None:
+        """Provide the operation result."""
+        self._resolve(value, None)
+
+    def fail(self, error: BaseException) -> None:
+        """Provide an exception to be propagated to the client."""
+        self._resolve(None, error)
+
+    def _resolve(self, value: Any, error: BaseException | None) -> None:
+        if self._done:
+            raise CorbaError("deferred CORBA result completed twice")
+        self._done = True
+        self._value = value
+        self._error = error
+        for callback in self._callbacks:
+            callback(value, error)
+        self._callbacks.clear()
+
+    def _on_resolved(self, callback: Any) -> None:
+        if self._done:
+            callback(self._value, self._error)
+        else:
+            self._callbacks.append(callback)
+
+
+class ServerOrb:
+    """The server-side ORB: an IIOP endpoint dispatching to servants."""
+
+    def __init__(
+        self,
+        host: Host,
+        port: int,
+        poa: PortableObjectAdapter | None = None,
+        cost_model: CostModel | None = None,
+        speed_factor: float = 1.0,
+        dynamic_dispatch_overhead: float = 0.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.poa = poa if poa is not None else PortableObjectAdapter()
+        self.cost_model = cost_model
+        self.speed_factor = speed_factor
+        self.dynamic_dispatch_overhead = dynamic_dispatch_overhead
+        self._running = False
+        self.requests_handled = 0
+        self.system_exceptions_sent = 0
+        self.user_exceptions_sent = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind the IIOP port and begin accepting requests."""
+        if self._running:
+            return
+        self.host.bind(self.port, self._on_message)
+        self._running = True
+
+    def stop(self) -> None:
+        """Unbind the IIOP port."""
+        if not self._running:
+            return
+        self.host.unbind(self.port)
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        """True while the ORB is accepting requests."""
+        return self._running
+
+    def object_reference(self, object_key: str, type_id: str | None = None) -> IOR:
+        """Build the IOR naming the object registered under ``object_key``."""
+        if type_id is None:
+            servant = self.poa.servant_for(object_key)
+            type_id = servant.repository_id
+        return IOR(type_id=type_id, host=self.host.name, port=self.port, object_key=object_key)
+
+    # -- request handling -----------------------------------------------------
+
+    def _on_message(self, message: Message, host: Host) -> None:
+        try:
+            giop = parse_message(message.payload)
+        except GiopError:
+            # Without a parsable request id there is nothing to correlate a
+            # reply with; real ORBs close the connection, we drop the message.
+            self.system_exceptions_sent += 1
+            return
+        if not isinstance(giop, RequestMessage):
+            return
+
+        def send(reply: ReplyMessage) -> None:
+            delay = self._processing_delay(len(message.payload), len(reply.body_cdr))
+            if delay > 0:
+                self.host.network.scheduler.schedule(
+                    delay,
+                    self._send_reply,
+                    message.source,
+                    reply,
+                    label=f"orb reply to {message.source}",
+                )
+            else:
+                self._send_reply(message.source, reply)
+
+        self._dispatch(giop, send)
+
+    def _dispatch(self, request: RequestMessage, send) -> None:
+        try:
+            servant = self.poa.servant_for(request.object_key)
+            arguments = unmarshal_values(request.arguments_cdr)
+            result = servant.invoke(request.operation, arguments)
+        except BaseException as exc:  # noqa: BLE001 - mapped to a GIOP reply
+            send(self._exception_reply(request.request_id, exc))
+            return
+
+        if isinstance(result, DeferredResult):
+            result._on_resolved(
+                lambda value, error: send(
+                    self._exception_reply(request.request_id, error)
+                    if error is not None
+                    else self._success_reply(request.request_id, value)
+                )
+            )
+            return
+        send(self._success_reply(request.request_id, result))
+
+    def _success_reply(self, request_id: int, result: Any) -> ReplyMessage:
+        self.requests_handled += 1
+        return ReplyMessage(
+            request_id=request_id,
+            status=ReplyStatus.NO_EXCEPTION,
+            body_cdr=marshal_values((result,)),
+        )
+
+    def _exception_reply(self, request_id: int, exc: BaseException) -> ReplyMessage:
+        if isinstance(exc, CorbaUserException):
+            self.user_exceptions_sent += 1
+            return ReplyMessage(
+                request_id=request_id,
+                status=ReplyStatus.USER_EXCEPTION,
+                body_cdr=b"",
+                exception_type=exc.type_name,
+                exception_detail=exc.message,
+            )
+        if isinstance(exc, CorbaSystemException):
+            self.system_exceptions_sent += 1
+            return ReplyMessage(
+                request_id=request_id,
+                status=ReplyStatus.SYSTEM_EXCEPTION,
+                body_cdr=b"",
+                exception_type=exc.name,
+                exception_detail=exc.detail,
+            )
+        self.system_exceptions_sent += 1
+        return ReplyMessage(
+            request_id=request_id,
+            status=ReplyStatus.SYSTEM_EXCEPTION,
+            body_cdr=b"",
+            exception_type="UNKNOWN",
+            exception_detail=f"{type(exc).__name__}: {exc}",
+        )
+
+    def _send_reply(self, destination: Address, reply: ReplyMessage) -> None:
+        self.host.send(destination, reply.to_bytes(), source_port=self.port)
+
+    def _processing_delay(self, request_size: int, reply_size: int) -> float:
+        if self.cost_model is None:
+            return 0.0
+        cost = self.cost_model.binary_processing(request_size)
+        cost += self.cost_model.binary_processing(reply_size)
+        cost += self.dynamic_dispatch_overhead
+        return cost * self.speed_factor
+
+    def __repr__(self) -> str:
+        state = "running" if self._running else "stopped"
+        return f"ServerOrb({self.host.name}:{self.port}, {state})"
+
+
+class RemoteObjectReference:
+    """A client-side reference to a remote CORBA object."""
+
+    def __init__(self, orb: "ClientOrb", ior: IOR) -> None:
+        self.orb = orb
+        self.ior = ior
+
+    def invoke(self, operation: str, *arguments: Any) -> Any:
+        """Perform a blocking remote invocation of ``operation``."""
+        return self.orb.invoke(self.ior, operation, arguments)
+
+    def __repr__(self) -> str:
+        return f"RemoteObjectReference({self.ior.type_id} at {self.ior.host}:{self.ior.port})"
+
+
+class ClientOrb:
+    """The client-side ORB."""
+
+    def __init__(
+        self,
+        host: Host,
+        cost_model: CostModel | None = None,
+        speed_factor: float = 1.0,
+    ) -> None:
+        self.host = host
+        self.cost_model = cost_model
+        self.speed_factor = speed_factor
+        self._request_ids = itertools.count(1)
+        self._next_ephemeral = _EPHEMERAL_BASE
+        self.calls_made = 0
+
+    # -- public API -----------------------------------------------------------
+
+    def string_to_object(self, stringified_ior: str) -> RemoteObjectReference:
+        """Parse a stringified IOR and return an object reference
+        (the CORBA ``string_to_object`` operation used at client
+        initialisation, Figure 2 step 1)."""
+        return RemoteObjectReference(self, IOR.from_string(stringified_ior))
+
+    def object_for(self, ior: IOR) -> RemoteObjectReference:
+        """Wrap an already-parsed IOR."""
+        return RemoteObjectReference(self, ior)
+
+    def invoke(self, ior: IOR, operation: str, arguments: tuple[Any, ...]) -> Any:
+        """Marshal, transmit, await and unmarshal one remote invocation."""
+        request_id = next(self._request_ids)
+        arguments_cdr = marshal_values(tuple(arguments))
+        request = RequestMessage(
+            request_id=request_id,
+            object_key=ior.object_key,
+            operation=operation,
+            arguments_cdr=arguments_cdr,
+        )
+        payload = request.to_bytes()
+        self._charge(len(payload))
+
+        scheduler = self.host.network.scheduler
+        latch: CompletionLatch[ReplyMessage] = CompletionLatch(
+            scheduler, description=f"CORBA {operation} on {ior.object_key}"
+        )
+        port = self._allocate_port()
+
+        def on_reply(message: Message, _host: Host) -> None:
+            self.host.unbind(port)
+            try:
+                giop = parse_message(message.payload)
+            except GiopError as exc:
+                latch.fail(CorbaError(f"malformed GIOP reply: {exc}"))
+                return
+            if not isinstance(giop, ReplyMessage) or giop.request_id != request_id:
+                latch.fail(CorbaError("GIOP reply does not match the outstanding request"))
+                return
+            latch.complete(giop)
+
+        self.host.bind(port, on_reply)
+        self.host.send(Address(ior.host, ior.port), payload, source_port=port)
+        reply = latch.wait()
+        self._charge(len(reply.body_cdr) + 24)
+        self.calls_made += 1
+        return self._interpret_reply(reply)
+
+    # -- internals ------------------------------------------------------------
+
+    def _interpret_reply(self, reply: ReplyMessage) -> Any:
+        if reply.status == ReplyStatus.NO_EXCEPTION:
+            values = unmarshal_values(reply.body_cdr)
+            return values[0] if values else None
+        if reply.status == ReplyStatus.USER_EXCEPTION:
+            raise CorbaUserException(reply.exception_type, reply.exception_detail)
+        raise CorbaSystemException(reply.exception_type or "UNKNOWN", reply.exception_detail)
+
+    def _charge(self, size_bytes: int) -> None:
+        if self.cost_model is None:
+            return
+        cost = self.cost_model.binary_processing(size_bytes) * self.speed_factor
+        if cost <= 0:
+            return
+        scheduler = self.host.network.scheduler
+        done: list[bool] = []
+        scheduler.schedule(cost, lambda: done.append(True), label="client-orb processing")
+        scheduler.run_until(lambda: bool(done), description="client ORB processing")
+
+    def _allocate_port(self) -> int:
+        while self.host.is_bound(self._next_ephemeral):
+            self._next_ephemeral += 1
+        port = self._next_ephemeral
+        self._next_ephemeral += 1
+        return port
+
+    def __repr__(self) -> str:
+        return f"ClientOrb(host={self.host.name!r}, calls={self.calls_made})"

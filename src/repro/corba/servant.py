@@ -1,0 +1,79 @@
+"""Servants: the server-side objects that implement CORBA operations.
+
+A :class:`StaticServant` is the ordinary case — a fixed set of operations
+bound to Python callables, the moral equivalent of a compiled skeleton.  The
+dynamic counterpart used by SDE lives in :mod:`repro.corba.dsi`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import CorbaSystemException
+from repro.interface import OperationSignature
+
+
+class Servant:
+    """Base class for all servants."""
+
+    #: The repository id advertised in the IOR.
+    repository_id: str = "IDL:repro/Object:1.0"
+
+    def invoke(self, operation: str, arguments: list[Any]) -> Any:
+        """Invoke ``operation`` with ``arguments`` and return the result.
+
+        Implementations raise :class:`CorbaSystemException` (``BAD_OPERATION``)
+        for unknown operations and may raise
+        :class:`~repro.errors.CorbaUserException` for application errors.
+        """
+        raise NotImplementedError
+
+    def operation_names(self) -> tuple[str, ...]:
+        """The operations this servant can currently handle (may be empty
+        for fully dynamic servants)."""
+        return ()
+
+
+@dataclass
+class StaticServant(Servant):
+    """A servant with a fixed operation table — the compiled-skeleton case."""
+
+    type_name: str
+    operations: dict[str, tuple[OperationSignature, Callable[..., Any]]] = field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        self.repository_id = f"IDL:repro/{self.type_name}:1.0"
+
+    def register(self, signature: OperationSignature, implementation: Callable[..., Any]) -> None:
+        """Register an operation implementation."""
+        if signature.name in self.operations:
+            raise CorbaSystemException(
+                "BAD_PARAM", f"operation {signature.name!r} already registered"
+            )
+        self.operations[signature.name] = (signature, implementation)
+
+    def operation_names(self) -> tuple[str, ...]:
+        return tuple(self.operations)
+
+    def signature(self, operation: str) -> OperationSignature | None:
+        """The signature registered for ``operation``, if any."""
+        entry = self.operations.get(operation)
+        return entry[0] if entry else None
+
+    def invoke(self, operation: str, arguments: list[Any]) -> Any:
+        entry = self.operations.get(operation)
+        if entry is None:
+            raise CorbaSystemException(
+                "BAD_OPERATION", f"no such operation {operation!r} on {self.type_name}"
+            )
+        signature, implementation = entry
+        if len(arguments) != signature.arity:
+            raise CorbaSystemException(
+                "BAD_PARAM",
+                f"operation {operation!r} expects {signature.arity} argument(s), "
+                f"got {len(arguments)}",
+            )
+        return implementation(*arguments)

@@ -1,0 +1,21 @@
+"""The paper's primary contribution: the SDE and CDE middleware.
+
+* :mod:`repro.core.sde` — the Server Development Environment: automated
+  deployment, automated interface publication with stable-change detection,
+  and reactive publication on stale calls (§4, §5).
+* :mod:`repro.core.cde` — the Client Development Environment: dynamic client
+  bindings whose view of the server interface is updated live (§2.3, §6).
+* :mod:`repro.core.protocol` — the joint SDE/CDE consistency algorithm and
+  the interleaving analyses behind Figures 7 and 8 (§6).
+"""
+
+from repro.core.sde.manager import SDEManager, SDEConfig
+from repro.core.sde.manager_interface import SDEManagerInterface
+from repro.core.cde.client_env import ClientDevelopmentEnvironment
+
+__all__ = [
+    "SDEManager",
+    "SDEConfig",
+    "SDEManagerInterface",
+    "ClientDevelopmentEnvironment",
+]

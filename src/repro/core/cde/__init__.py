@@ -1,0 +1,27 @@
+"""Client Development Environment (CDE).
+
+"CDE supports the live construction of SOAP and CORBA clients ... we extend
+the live development model introduced by JPie to automate addition, mutation,
+and deletion of dynamic server methods within dynamic clients" (§2.3).
+
+* :mod:`repro.core.cde.binding` — a live client-side binding to one remote
+  server: it tracks the published interface description, performs RMI calls
+  even when the local view may be stale, and implements the client half of
+  the §6 consistency algorithm (refresh on "Non existent Method", report to
+  the JPie debugger, support "try again");
+* :mod:`repro.core.cde.stub_manager` — maintains a client-side dynamic class
+  whose methods mirror the server interface;
+* :mod:`repro.core.cde.client_env` — the CDE facade that connects to SOAP and
+  CORBA servers.
+"""
+
+from repro.core.cde.binding import DynamicClientBinding, GuaranteeRecord
+from repro.core.cde.stub_manager import ClientStubManager
+from repro.core.cde.client_env import ClientDevelopmentEnvironment
+
+__all__ = [
+    "DynamicClientBinding",
+    "GuaranteeRecord",
+    "ClientStubManager",
+    "ClientDevelopmentEnvironment",
+]

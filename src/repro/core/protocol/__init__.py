@@ -1,0 +1,34 @@
+"""The joint SDE/CDE consistency protocol and its interleaving analyses.
+
+Section 6 of the paper identifies a race between the RMI call path and the
+server-interface update path and proposes a distributed algorithm (reactive
+publication on the server, reactive update on the client) that guarantees:
+
+    "the method signature observable at the client upon return from an RMI
+    call is always consistent with a published server interface that is at
+    least as recent as the interface used by the server to process the call."
+
+This package reproduces the two figures that frame the argument:
+
+* Figure 7 (*active publishing*): with independent publication and update
+  paths, only 3 of the 9 publish-point x update-point combinations make the
+  interface change visible to the client developer at error-display time;
+* Figure 8 (*reactive publishing*): with the §5.7 + §6 algorithm, every
+  combination satisfies the recency guarantee.
+"""
+
+from repro.core.protocol.interleaving import (
+    ActivePublishingExperiment,
+    InterleavingResult,
+    ReactivePublishingExperiment,
+    run_figure7_matrix,
+    run_figure8_matrix,
+)
+
+__all__ = [
+    "ActivePublishingExperiment",
+    "ReactivePublishingExperiment",
+    "InterleavingResult",
+    "run_figure7_matrix",
+    "run_figure8_matrix",
+]

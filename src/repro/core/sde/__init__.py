@@ -1,0 +1,42 @@
+"""Server Development Environment (SDE).
+
+SDE has three main responsibilities (§5): detect the presence of server
+classes within JPie, construct and deploy the RMI call handlers for each of
+those classes, and automate the publication of the server interface in an
+intelligent manner.  In conjunction with CDE it also provides concurrency
+control between the RMI call path and the interface update mechanism.
+
+The package mirrors the class hierarchy of Figure 6:
+
+* :mod:`repro.core.sde.api` — the technology-independent abstractions
+  (``SDEServer`` gateway classes, ``DLPublisher``, ``CallHandler``,
+  ``Technology`` plug-in descriptor);
+* :mod:`repro.core.sde.publisher` — the stable-change publication engine
+  (§5.6) and the §5.7 recency machinery, shared by both technologies;
+* :mod:`repro.core.sde.wsdl_publisher` / :mod:`repro.core.sde.idl_publisher`
+  — the WSDL and CORBA-IDL publishers;
+* :mod:`repro.core.sde.call_handler` /
+  :mod:`repro.core.sde.soap_handler` / :mod:`repro.core.sde.corba_handler`
+  — the RMI call handlers;
+* :mod:`repro.core.sde.interface_server` — the integrated HTTP server that
+  publishes interface documents;
+* :mod:`repro.core.sde.manager` — the SDE Manager that wires everything up;
+* :mod:`repro.core.sde.manager_interface` — the user-facing SDE Manager
+  Interface (§4).
+"""
+
+from repro.core.sde.api import Technology, GATEWAY_SOAP, GATEWAY_CORBA
+from repro.core.sde.manager import SDEManager, SDEConfig, ManagedServer
+from repro.core.sde.manager_interface import SDEManagerInterface
+from repro.core.sde.interface_server import InterfaceServer
+
+__all__ = [
+    "Technology",
+    "GATEWAY_SOAP",
+    "GATEWAY_CORBA",
+    "SDEManager",
+    "SDEConfig",
+    "ManagedServer",
+    "SDEManagerInterface",
+    "InterfaceServer",
+]

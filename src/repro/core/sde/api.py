@@ -1,0 +1,54 @@
+"""Technology-independent SDE abstractions (the Figure 6 class hierarchy).
+
+"Each technology incorporated into SDE must implement a generator to publish
+the server interface, a communication backend that handles incoming requests
+and sends reply messages, and an extensible class that will serve as the base
+type for dynamic classes using that technology." (Figure 6 caption)
+
+The three roles map to:
+
+* a *gateway class name* — the provided ``SDEServer`` subclass users extend
+  (``SOAPServer`` / ``CORBAServer``);
+* a :class:`~repro.core.sde.publisher.DLPublisher` factory;
+* a :class:`~repro.core.sde.call_handler.CallHandler` factory.
+
+Bundling the three into a :class:`Technology` descriptor keeps the SDE
+Manager technology independent and lets tests register additional toy
+technologies to exercise the claimed extensibility (§2, §5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.sde.call_handler import CallHandler
+    from repro.core.sde.manager import ManagedServer, SDEManager
+    from repro.core.sde.publisher import DLPublisher
+
+#: Name of the provided gateway class SOAP servers extend (§4).
+GATEWAY_SOAP = "SOAPServer"
+
+#: Name of the provided gateway class CORBA servers extend (§4).
+GATEWAY_CORBA = "CORBAServer"
+
+#: Name of the common ancestor of all gateway classes (§5.3, ``SDEServer``).
+GATEWAY_ROOT = "SDEServer"
+
+
+PublisherFactory = Callable[["SDEManager", "ManagedServer"], "DLPublisher"]
+CallHandlerFactory = Callable[["SDEManager", "ManagedServer"], "CallHandler"]
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A pluggable RMI technology (SOAP, CORBA, or a test technology)."""
+
+    name: str
+    gateway_class_name: str
+    publisher_factory: PublisherFactory
+    call_handler_factory: CallHandlerFactory
+
+    def __str__(self) -> str:
+        return f"Technology({self.name}, gateway={self.gateway_class_name})"

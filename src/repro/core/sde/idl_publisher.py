@@ -1,0 +1,49 @@
+"""The IDL Generator/Publisher for the CORBA subsystem (§5.2).
+
+"The IDL Generator registers itself as a listener to changes in the method
+signatures within the CORBA Server and creates a minimal CORBA-IDL document.
+The Server ORB is initialized by the CORBA End Point and finally, the IOR is
+published via the Interface Server."
+
+Besides the IDL document itself, this publisher also publishes the IOR (the
+IOR changes only when the endpoint changes, so it is published once at
+deployment time and simply re-served afterwards).
+"""
+
+from __future__ import annotations
+
+from repro.core.sde.publisher import DLPublisher
+from repro.corba.idl import generate_idl
+from repro.corba.ior import IOR
+from repro.interface import InterfaceDescription
+
+
+class IdlPublisher(DLPublisher):
+    """Publishes CORBA-IDL documents (and the IOR) for a managed CORBA class."""
+
+    def render(self, description: InterfaceDescription) -> str:
+        return generate_idl(description)
+
+    @property
+    def document_path(self) -> str:
+        return f"/idl/{self.dynamic_class.name}.idl"
+
+    @property
+    def ior_path(self) -> str:
+        """Path under which the IOR is published."""
+        return f"/idl/{self.dynamic_class.name}.ior"
+
+    @property
+    def ior_url(self) -> str:
+        """Full URL of the published IOR."""
+        return self.interface_server.url_for(self.ior_path)
+
+    @property
+    def content_type(self) -> str:
+        return "text/plain; charset=utf-8"
+
+    def publish_ior(self, ior: IOR) -> str:
+        """Publish the stringified IOR via the Interface Server (§5.2.1)."""
+        return self.interface_server.publish(
+            self.ior_path, ior.stringify(), "text/plain; charset=utf-8"
+        )

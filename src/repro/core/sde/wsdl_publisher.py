@@ -1,0 +1,29 @@
+"""The WSDL Generator/Publisher for the SOAP subsystem (§5.1).
+
+"The WSDL Generator is in charge of detecting the addition, deletion, and
+mutation of server methods within the SOAP Server instance and creating new
+WSDL documents as required."  All of the *when* logic lives in
+:class:`~repro.core.sde.publisher.DLPublisher`; this subclass supplies the
+WSDL rendering and the publication path.
+"""
+
+from __future__ import annotations
+
+from repro.core.sde.publisher import DLPublisher
+from repro.interface import InterfaceDescription
+from repro.soap.wsdl import generate_wsdl
+
+
+class WsdlPublisher(DLPublisher):
+    """Publishes WSDL documents for a managed SOAP server class."""
+
+    def render(self, description: InterfaceDescription) -> str:
+        return generate_wsdl(description)
+
+    @property
+    def document_path(self) -> str:
+        return f"/wsdl/{self.dynamic_class.name}.wsdl"
+
+    @property
+    def content_type(self) -> str:
+        return "text/xml; charset=utf-8"

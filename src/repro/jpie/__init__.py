@@ -1,0 +1,57 @@
+"""JPie-style dynamic-class environment.
+
+JPie "embodies the notion of a dynamic class whose signature and
+implementation can be modified at run time, with changes taking effect
+immediately upon existing instances of the class" (§1).  This package
+reproduces the observable behaviour SDE depends on:
+
+* :class:`~repro.jpie.dynamic_class.DynamicClass` built from
+  :class:`~repro.jpie.dynamic_method.DynamicMethod` and
+  :class:`~repro.jpie.dynamic_field.DynamicField` components that can be
+  instantiated *and mutated*;
+* live instances (:class:`~repro.jpie.dynamic_instance.DynamicInstance`)
+  whose behaviour always reflects the current class definition;
+* the ``distributed`` modifier used to mark server operations (§4, §5.5);
+* change listeners and the undo/redo stack the SDE publishers monitor
+  (§5.6);
+* a :class:`~repro.jpie.environment.JPieEnvironment` that loads classes and
+  notifies plug-ins (such as SDE) when subclasses of their gateway classes
+  appear (§5.1.1);
+* the :class:`~repro.jpie.debugger.JPieDebugger` that surfaces remote
+  exceptions to the developer and supports the "try again" feature (§6);
+* the application-export mechanism that converts a dynamic class into a
+  static one at the end of development (§7).
+"""
+
+from repro.jpie.modifiers import Modifier
+from repro.jpie.listeners import (
+    ClassChangeEvent,
+    ClassChangeKind,
+    ClassLoadedEvent,
+)
+from repro.jpie.dynamic_field import DynamicField
+from repro.jpie.dynamic_method import DynamicMethod
+from repro.jpie.dynamic_class import DynamicClass
+from repro.jpie.dynamic_instance import DynamicInstance
+from repro.jpie.undo_redo import UndoRedoStack, ChangeRecord
+from repro.jpie.environment import JPieEnvironment
+from repro.jpie.debugger import JPieDebugger, DebuggerEntry
+from repro.jpie.export import export_static_class, export_operation_table
+
+__all__ = [
+    "Modifier",
+    "ClassChangeEvent",
+    "ClassChangeKind",
+    "ClassLoadedEvent",
+    "DynamicField",
+    "DynamicMethod",
+    "DynamicClass",
+    "DynamicInstance",
+    "UndoRedoStack",
+    "ChangeRecord",
+    "JPieEnvironment",
+    "JPieDebugger",
+    "DebuggerEntry",
+    "export_static_class",
+    "export_operation_table",
+]

@@ -1,0 +1,118 @@
+"""The JPie debugger.
+
+"The JPie Debugger detects the exception and displays it to the user ...
+the user can use JPie's 'try again' feature in the debugger to re-execute and
+therefore resend the call" (§6, Figure 9).  The debugger here is headless:
+exceptions are recorded as :class:`DebuggerEntry` items that tests and
+examples can inspect, and :meth:`JPieDebugger.try_again` re-runs the original
+call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import JPieError
+
+
+@dataclass
+class DebuggerEntry:
+    """One exception surfaced to the developer."""
+
+    source: str
+    exception: BaseException
+    description: str = ""
+    retry: Callable[[], Any] | None = None
+    context: dict[str, Any] = field(default_factory=dict)
+    resolved: bool = False
+
+    @property
+    def can_retry(self) -> bool:
+        """True if the originating call can be re-executed."""
+        return self.retry is not None
+
+    def __str__(self) -> str:
+        return f"[{self.source}] {type(self.exception).__name__}: {self.exception}"
+
+
+class JPieDebugger:
+    """Collects exceptions raised during live development."""
+
+    def __init__(self) -> None:
+        self._entries: list[DebuggerEntry] = []
+        self._display_listeners: list[Callable[[DebuggerEntry], None]] = []
+
+    # -- reporting ----------------------------------------------------------
+
+    def report(
+        self,
+        source: str,
+        exception: BaseException,
+        description: str = "",
+        retry: Callable[[], Any] | None = None,
+        context: dict[str, Any] | None = None,
+    ) -> DebuggerEntry:
+        """Record an exception and notify display listeners."""
+        entry = DebuggerEntry(
+            source=source,
+            exception=exception,
+            description=description,
+            retry=retry,
+            context=dict(context or {}),
+        )
+        self._entries.append(entry)
+        for listener in tuple(self._display_listeners):
+            listener(entry)
+        return entry
+
+    def add_display_listener(self, listener: Callable[[DebuggerEntry], None]) -> None:
+        """Register a listener invoked when a new entry is displayed."""
+        if listener not in self._display_listeners:
+            self._display_listeners.append(listener)
+
+    # -- inspection -------------------------------------------------------------
+
+    @property
+    def entries(self) -> tuple[DebuggerEntry, ...]:
+        """All recorded entries, oldest first."""
+        return tuple(self._entries)
+
+    @property
+    def unresolved(self) -> tuple[DebuggerEntry, ...]:
+        """Entries the developer has not yet resolved."""
+        return tuple(e for e in self._entries if not e.resolved)
+
+    def latest(self) -> DebuggerEntry | None:
+        """The most recent entry, if any."""
+        return self._entries[-1] if self._entries else None
+
+    # -- actions ------------------------------------------------------------------
+
+    def try_again(self, entry: DebuggerEntry | None = None) -> Any:
+        """Re-execute the call that produced ``entry`` (default: the latest).
+
+        On success the entry is marked resolved and the new result returned;
+        if the retried call fails again the new exception propagates (and is
+        *not* recorded automatically — the caller decides).
+        """
+        if entry is None:
+            entry = self.latest()
+        if entry is None:
+            raise JPieError("debugger has no entries to retry")
+        if not entry.can_retry:
+            raise JPieError("this debugger entry cannot be re-executed")
+        result = entry.retry()
+        entry.resolved = True
+        return result
+
+    def resolve(self, entry: DebuggerEntry) -> None:
+        """Mark an entry as handled without re-executing it."""
+        entry.resolved = True
+
+    def clear(self) -> None:
+        """Discard all entries."""
+        self._entries.clear()
+
+    def __repr__(self) -> str:
+        return f"JPieDebugger(entries={len(self._entries)}, unresolved={len(self.unresolved)})"

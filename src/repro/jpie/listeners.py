@@ -1,0 +1,83 @@
+"""Change-event model for the dynamic-class environment.
+
+SDE's interface publishers "register themselves as listeners to changes in
+the method signatures" of the server class (§5.1.1) and monitor the JPie
+undo/redo stack (§5.6).  The events below describe every mutation a dynamic
+class can undergo; listeners receive them synchronously, in the order the
+mutations happen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+
+class ClassChangeKind(str, Enum):
+    """The kinds of mutation a dynamic class supports."""
+
+    METHOD_ADDED = "method-added"
+    METHOD_REMOVED = "method-removed"
+    METHOD_RENAMED = "method-renamed"
+    METHOD_SIGNATURE_CHANGED = "method-signature-changed"
+    METHOD_BODY_CHANGED = "method-body-changed"
+    METHOD_MODIFIERS_CHANGED = "method-modifiers-changed"
+    FIELD_ADDED = "field-added"
+    FIELD_REMOVED = "field-removed"
+    FIELD_CHANGED = "field-changed"
+    CLASS_RENAMED = "class-renamed"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Kinds of change that can alter the *published server interface*: anything
+#: touching the existence, name, signature or modifiers of a method.  Body
+#: changes alter behaviour but not the interface, so they never trigger
+#: interface publication (§5.6 cares about "changes to the distributed method
+#: interface").
+INTERFACE_AFFECTING_KINDS = frozenset(
+    {
+        ClassChangeKind.METHOD_ADDED,
+        ClassChangeKind.METHOD_REMOVED,
+        ClassChangeKind.METHOD_RENAMED,
+        ClassChangeKind.METHOD_SIGNATURE_CHANGED,
+        ClassChangeKind.METHOD_MODIFIERS_CHANGED,
+        ClassChangeKind.CLASS_RENAMED,
+    }
+)
+
+
+@dataclass(frozen=True)
+class ClassChangeEvent:
+    """A single mutation of a dynamic class."""
+
+    kind: ClassChangeKind
+    class_name: str
+    member_name: str = ""
+    detail: str = ""
+    old_value: Any = None
+    new_value: Any = None
+
+    @property
+    def affects_interface(self) -> bool:
+        """True if this change can alter the published server interface."""
+        return self.kind in INTERFACE_AFFECTING_KINDS
+
+    def __str__(self) -> str:
+        target = f"{self.class_name}.{self.member_name}" if self.member_name else self.class_name
+        return f"{self.kind}: {target}" + (f" ({self.detail})" if self.detail else "")
+
+
+@dataclass(frozen=True)
+class ClassLoadedEvent:
+    """Fired by the environment when a new dynamic class is created/loaded.
+
+    SDE listens for these to detect new subclasses of its gateway classes
+    (§5.1.1: "When a user extends the SOAP Server to create a dynamic class
+    within JPie, an event is generated to signal the SDE Manager").
+    """
+
+    class_name: str
+    dynamic_class: Any = field(compare=False, default=None)

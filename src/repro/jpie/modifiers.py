@@ -1,0 +1,27 @@
+"""Method and field modifiers.
+
+The only modifier the paper adds to JPie's list is ``distributed``: "To add a
+method declared in the dynamic class to the server interface, the user
+selects the 'distributed' modifier from the modifier list" (§4).  The other
+modifiers mirror the Java set so the model stays faithful to JPie.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Modifier(str, Enum):
+    """Modifiers attachable to dynamic methods and fields."""
+
+    PUBLIC = "public"
+    PROTECTED = "protected"
+    PRIVATE = "private"
+    STATIC = "static"
+    FINAL = "final"
+    ABSTRACT = "abstract"
+    #: Marks a method as part of the published server interface (§4, §5.5).
+    DISTRIBUTED = "distributed"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value

@@ -1,0 +1,118 @@
+"""Blocking HTTP client for the simulated network.
+
+Each in-flight request is issued from a dedicated ephemeral port so that
+responses are correlated with requests without connection state.  ``request``
+drives the event scheduler until the response arrives, which is how
+synchronous RMI calls are expressed on the single-threaded simulator.
+"""
+
+from __future__ import annotations
+
+from repro.errors import HttpError
+from repro.net.http.messages import HttpRequest, HttpResponse
+from repro.net.simnet import Address, Host, Message
+from repro.sim.latch import CompletionLatch
+
+_EPHEMERAL_BASE = 49152
+
+
+class HttpClient:
+    """An HTTP client attached to a simulated host."""
+
+    def __init__(self, host: Host, name: str = "http-client") -> None:
+        self.host = host
+        self.name = name
+        self._next_ephemeral = _EPHEMERAL_BASE
+        self.requests_sent = 0
+        self.responses_received = 0
+
+    # -- public API ---------------------------------------------------------
+
+    def get(self, url: str, headers: dict[str, str] | None = None) -> HttpResponse:
+        """Issue a blocking GET request to ``url``."""
+        return self.request("GET", url, headers=headers)
+
+    def post(
+        self,
+        url: str,
+        body: str,
+        headers: dict[str, str] | None = None,
+    ) -> HttpResponse:
+        """Issue a blocking POST request with ``body`` to ``url``."""
+        return self.request("POST", url, body=body, headers=headers)
+
+    def request(
+        self,
+        method: str,
+        url: str,
+        body: str = "",
+        headers: dict[str, str] | None = None,
+    ) -> HttpResponse:
+        """Issue a blocking HTTP request and return the response.
+
+        ``url`` must be of the form ``http://<host>:<port>/<path>`` where
+        ``<host>`` is a simulated host name.
+        """
+        destination, path = self.parse_url(url)
+        request = HttpRequest(
+            method=method,
+            path=path,
+            headers=dict(headers or {}),
+            body=body,
+        )
+        request.headers.setdefault("Host", f"{destination.host}:{destination.port}")
+
+        scheduler = self.host.network.scheduler
+        latch: CompletionLatch[HttpResponse] = CompletionLatch(
+            scheduler, description=f"{method} {url}"
+        )
+        port = self._allocate_port()
+
+        def on_response(message: Message, _host: Host) -> None:
+            self.host.unbind(port)
+            try:
+                latch.complete(HttpResponse.from_bytes(message.payload))
+            except HttpError as exc:
+                latch.fail(exc)
+
+        self.host.bind(port, on_response)
+        self.host.send(destination, request.to_bytes(), source_port=port)
+        self.requests_sent += 1
+        response = latch.wait()
+        self.responses_received += 1
+        return response
+
+    # -- helpers ------------------------------------------------------------
+
+    @staticmethod
+    def parse_url(url: str) -> tuple[Address, str]:
+        """Split ``http://host:port/path`` into an address and a path."""
+        if not url.startswith("http://"):
+            raise HttpError(f"only http:// URLs are supported, got {url!r}")
+        remainder = url[len("http://"):]
+        if "/" in remainder:
+            authority, path = remainder.split("/", 1)
+            path = "/" + path
+        else:
+            authority, path = remainder, "/"
+        if ":" in authority:
+            host, port_text = authority.split(":", 1)
+            try:
+                port = int(port_text)
+            except ValueError:
+                raise HttpError(f"malformed port in URL {url!r}") from None
+        else:
+            host, port = authority, 80
+        if not host:
+            raise HttpError(f"missing host in URL {url!r}")
+        return Address(host, port), path
+
+    def _allocate_port(self) -> int:
+        while self.host.is_bound(self._next_ephemeral):
+            self._next_ephemeral += 1
+        port = self._next_ephemeral
+        self._next_ephemeral += 1
+        return port
+
+    def __repr__(self) -> str:
+        return f"HttpClient(host={self.host.name!r}, sent={self.requests_sent})"

@@ -1,0 +1,189 @@
+"""HTTP request/response message model and wire format.
+
+Messages serialise to the familiar textual HTTP/1.1 format so that the
+latency model sees realistic message sizes (headers included) and tests can
+assert on exact wire bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import HttpError
+
+_CRLF = "\r\n"
+_SUPPORTED_METHODS = {"GET", "POST", "PUT", "DELETE", "HEAD"}
+
+
+class StatusCodes:
+    """The subset of HTTP status codes the reproduction uses."""
+
+    OK = 200
+    BAD_REQUEST = 400
+    NOT_FOUND = 404
+    METHOD_NOT_ALLOWED = 405
+    INTERNAL_SERVER_ERROR = 500
+    SERVICE_UNAVAILABLE = 503
+
+    REASONS = {
+        200: "OK",
+        400: "Bad Request",
+        404: "Not Found",
+        405: "Method Not Allowed",
+        500: "Internal Server Error",
+        503: "Service Unavailable",
+    }
+
+    @classmethod
+    def reason(cls, code: int) -> str:
+        """Return the reason phrase for ``code`` (generic for unknown codes)."""
+        return cls.REASONS.get(code, "Unknown")
+
+
+def _normalise_headers(headers: dict[str, str] | None) -> dict[str, str]:
+    return {key.title(): value for key, value in (headers or {}).items()}
+
+
+@dataclass
+class HttpRequest:
+    """An HTTP request.
+
+    The body is kept as ``str`` because every payload in this system (SOAP
+    envelopes, WSDL, IDL, IOR documents) is textual; it is encoded to UTF-8
+    at the wire boundary.
+    """
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: str = ""
+    http_version: str = "HTTP/1.1"
+
+    def __post_init__(self) -> None:
+        self.method = self.method.upper()
+        if self.method not in _SUPPORTED_METHODS:
+            raise HttpError(f"unsupported HTTP method {self.method!r}")
+        if not self.path.startswith("/"):
+            raise HttpError(f"request path must start with '/', got {self.path!r}")
+        self.headers = _normalise_headers(self.headers)
+
+    def header(self, name: str, default: str | None = None) -> str | None:
+        """Case-insensitive header lookup."""
+        return self.headers.get(name.title(), default)
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the textual HTTP/1.1 wire format."""
+        body_bytes = self.body.encode("utf-8")
+        headers = dict(self.headers)
+        headers.setdefault("Content-Length", str(len(body_bytes)))
+        lines = [f"{self.method} {self.path} {self.http_version}"]
+        lines.extend(f"{name}: {value}" for name, value in sorted(headers.items()))
+        head = _CRLF.join(lines) + _CRLF + _CRLF
+        return head.encode("utf-8") + body_bytes
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "HttpRequest":
+        """Parse a request from its wire format."""
+        head, body = _split_head_and_body(data, "request")
+        lines = head.split(_CRLF)
+        parts = lines[0].split(" ")
+        if len(parts) != 3:
+            raise HttpError(f"malformed request line: {lines[0]!r}")
+        method, path, version = parts
+        headers = _parse_header_lines(lines[1:])
+        return cls(method=method, path=path, headers=headers, body=body, http_version=version)
+
+
+@dataclass
+class HttpResponse:
+    """An HTTP response."""
+
+    status: int
+    headers: dict[str, str] = field(default_factory=dict)
+    body: str = ""
+    http_version: str = "HTTP/1.1"
+
+    def __post_init__(self) -> None:
+        self.headers = _normalise_headers(self.headers)
+
+    @property
+    def ok(self) -> bool:
+        """True for 2xx statuses."""
+        return 200 <= self.status < 300
+
+    def header(self, name: str, default: str | None = None) -> str | None:
+        """Case-insensitive header lookup."""
+        return self.headers.get(name.title(), default)
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the textual HTTP/1.1 wire format."""
+        body_bytes = self.body.encode("utf-8")
+        headers = dict(self.headers)
+        headers.setdefault("Content-Length", str(len(body_bytes)))
+        reason = StatusCodes.reason(self.status)
+        lines = [f"{self.http_version} {self.status} {reason}"]
+        lines.extend(f"{name}: {value}" for name, value in sorted(headers.items()))
+        head = _CRLF.join(lines) + _CRLF + _CRLF
+        return head.encode("utf-8") + body_bytes
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "HttpResponse":
+        """Parse a response from its wire format."""
+        head, body = _split_head_and_body(data, "response")
+        lines = head.split(_CRLF)
+        parts = lines[0].split(" ", 2)
+        if len(parts) < 2:
+            raise HttpError(f"malformed status line: {lines[0]!r}")
+        version, status = parts[0], parts[1]
+        try:
+            status_code = int(status)
+        except ValueError:
+            raise HttpError(f"malformed status code: {status!r}") from None
+        headers = _parse_header_lines(lines[1:])
+        return cls(status=status_code, headers=headers, body=body, http_version=version)
+
+    # -- convenience constructors -----------------------------------------
+
+    @classmethod
+    def ok_text(cls, body: str, content_type: str = "text/plain") -> "HttpResponse":
+        """A 200 response carrying a plain-text body."""
+        return cls(StatusCodes.OK, {"Content-Type": content_type}, body)
+
+    @classmethod
+    def ok_xml(cls, body: str) -> "HttpResponse":
+        """A 200 response carrying an XML body."""
+        return cls(StatusCodes.OK, {"Content-Type": "text/xml; charset=utf-8"}, body)
+
+    @classmethod
+    def not_found(cls, detail: str = "") -> "HttpResponse":
+        """A 404 response."""
+        return cls(StatusCodes.NOT_FOUND, {"Content-Type": "text/plain"}, detail)
+
+    @classmethod
+    def server_error(cls, detail: str = "") -> "HttpResponse":
+        """A 500 response."""
+        return cls(StatusCodes.INTERNAL_SERVER_ERROR, {"Content-Type": "text/plain"}, detail)
+
+
+def _split_head_and_body(data: bytes, what: str) -> tuple[str, str]:
+    try:
+        text = data.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise HttpError(f"HTTP {what} is not valid UTF-8: {exc}") from None
+    separator = _CRLF + _CRLF
+    if separator not in text:
+        raise HttpError(f"HTTP {what} is missing the header/body separator")
+    head, body = text.split(separator, 1)
+    return head, body
+
+
+def _parse_header_lines(lines: list[str]) -> dict[str, str]:
+    headers: dict[str, str] = {}
+    for line in lines:
+        if not line:
+            continue
+        if ":" not in line:
+            raise HttpError(f"malformed header line: {line!r}")
+        name, value = line.split(":", 1)
+        headers[name.strip().title()] = value.strip()
+    return headers

@@ -1,0 +1,212 @@
+"""Route-based HTTP server bound to a simulated host port.
+
+Handlers may return:
+
+* an :class:`HttpResponse` — sent immediately;
+* a ``(response, processing_delay)`` tuple — sent ``processing_delay``
+  virtual seconds later, which is how server-side CPU cost (XML parsing,
+  reflection dispatch) is charged to the round-trip time;
+* a :class:`DeferredHttpResponse` — sent whenever the handler (or anything
+  holding the deferred object) later calls
+  :meth:`DeferredHttpResponse.complete`.  SDE's call handlers use this to
+  stall a reply until the interface publisher has caught up (§5.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Union
+
+from repro.errors import HttpError, NetworkError
+from repro.net.http.messages import HttpRequest, HttpResponse, StatusCodes
+from repro.net.simnet import Address, Host, Message
+
+
+class DeferredHttpResponse:
+    """A reply that will be provided later by the handler."""
+
+    def __init__(self) -> None:
+        self._completed = False
+        self._send: Callable[[HttpResponse, float], None] | None = None
+        self._pending: tuple[HttpResponse, float] | None = None
+
+    @property
+    def completed(self) -> bool:
+        """True once :meth:`complete` has been called."""
+        return self._completed
+
+    def complete(self, response: HttpResponse, delay: float = 0.0) -> None:
+        """Provide the response (optionally after ``delay`` seconds)."""
+        if self._completed:
+            raise NetworkError("deferred HTTP response completed twice")
+        self._completed = True
+        if self._send is not None:
+            self._send(response, delay)
+        else:
+            self._pending = (response, delay)
+
+    def _attach(self, send: Callable[[HttpResponse, float], None]) -> None:
+        self._send = send
+        if self._pending is not None:
+            response, delay = self._pending
+            self._pending = None
+            send(response, delay)
+
+
+HandlerResult = Union[HttpResponse, tuple[HttpResponse, float], DeferredHttpResponse]
+Handler = Callable[[HttpRequest], HandlerResult]
+
+
+@dataclass
+class Route:
+    """A single route: exact path or prefix plus the handler."""
+
+    path: str
+    handler: Handler
+    methods: tuple[str, ...] = ("GET", "POST")
+    prefix: bool = False
+
+    def matches(self, method: str, path: str) -> bool:
+        """True if this route should handle the given method/path.
+
+        Query strings (``?wsdl``) are ignored for matching purposes, as they
+        are by the servlet containers the paper builds on.
+        """
+        if method not in self.methods:
+            return False
+        bare_path = path.split("?", 1)[0]
+        if self.prefix:
+            return bare_path.startswith(self.path)
+        return bare_path == self.path
+
+
+class HttpServer:
+    """An HTTP server listening on ``(host, port)`` of the simulated network."""
+
+    def __init__(self, host: Host, port: int, name: str = "http-server") -> None:
+        self.host = host
+        self.port = port
+        self.name = name
+        self._routes: list[Route] = []
+        self._started = False
+        self.requests_served = 0
+        self.last_request: HttpRequest | None = None
+
+    # -- configuration ----------------------------------------------------
+
+    def add_route(
+        self,
+        path: str,
+        handler: Handler,
+        methods: tuple[str, ...] = ("GET", "POST"),
+        prefix: bool = False,
+    ) -> Route:
+        """Register ``handler`` for ``path`` and return the created route."""
+        route = Route(path=path, handler=handler, methods=tuple(m.upper() for m in methods), prefix=prefix)
+        self._routes.append(route)
+        return route
+
+    def remove_route(self, route: Route) -> None:
+        """Unregister a previously added route."""
+        if route in self._routes:
+            self._routes.remove(route)
+
+    @property
+    def routes(self) -> tuple[Route, ...]:
+        """The registered routes in registration order."""
+        return tuple(self._routes)
+
+    @property
+    def address(self) -> Address:
+        """The network address this server listens on."""
+        return Address(self.host.name, self.port)
+
+    @property
+    def url(self) -> str:
+        """The base URL of this server, e.g. ``http://server:8080``."""
+        return f"http://{self.host.name}:{self.port}"
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind to the host port and begin serving."""
+        if self._started:
+            return
+        self.host.bind(self.port, self._on_message)
+        self._started = True
+
+    def stop(self) -> None:
+        """Unbind from the host port."""
+        if not self._started:
+            return
+        self.host.unbind(self.port)
+        self._started = False
+
+    @property
+    def running(self) -> bool:
+        """True while the server is bound to its port."""
+        return self._started
+
+    # -- request handling ---------------------------------------------------
+
+    def _on_message(self, message: Message, host: Host) -> None:
+        try:
+            request = HttpRequest.from_bytes(message.payload)
+        except HttpError as exc:
+            self._reply(message, HttpResponse(StatusCodes.BAD_REQUEST, body=str(exc)))
+            return
+
+        self.last_request = request
+        self.requests_served += 1
+
+        route = self._match(request)
+        if route is None:
+            self._reply(message, HttpResponse.not_found(f"no route for {request.path}"))
+            return
+
+        try:
+            result = route.handler(request)
+        except Exception as exc:  # noqa: BLE001 - converted to HTTP 500
+            self._reply(message, HttpResponse.server_error(f"{type(exc).__name__}: {exc}"))
+            return
+
+        if isinstance(result, DeferredHttpResponse):
+            result._attach(
+                lambda response, delay: self._reply_later(message, response, delay)
+            )
+        elif isinstance(result, tuple):
+            response, delay = result
+            self._reply_later(message, response, delay)
+        else:
+            self._reply(message, result)
+
+    def _match(self, request: HttpRequest) -> Route | None:
+        for route in self._routes:
+            if route.matches(request.method, request.path):
+                return route
+        return None
+
+    def _reply_later(
+        self, request_message: Message, response: HttpResponse, delay: float
+    ) -> None:
+        if delay <= 0:
+            self._reply(request_message, response)
+            return
+        self.host.network.scheduler.schedule(
+            delay,
+            self._reply,
+            request_message,
+            response,
+            label=f"{self.name} reply to {request_message.source}",
+        )
+
+    def _reply(self, request_message: Message, response: HttpResponse) -> None:
+        self.host.send(
+            destination=request_message.source,
+            payload=response.to_bytes(),
+            source_port=self.port,
+        )
+
+    def __repr__(self) -> str:
+        state = "running" if self._started else "stopped"
+        return f"HttpServer({self.url}, routes={len(self._routes)}, {state})"

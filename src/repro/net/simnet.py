@@ -1,0 +1,276 @@
+"""Deterministic in-process network simulator.
+
+Hosts attach to a :class:`Network`; binding a :class:`PortListener` to a port
+makes the host reachable; :meth:`Host.send` delivers a :class:`Message` to the
+destination after the delay computed by the network's latency model.  The
+simulator supports per-link latency overrides, partitions (for failure
+injection tests) and per-host/network traffic statistics.
+
+All payloads are byte strings: every protocol in the reproduction (HTTP, SOAP
+XML, GIOP) serialises to bytes before transmission, exactly as on a real wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.errors import (
+    HostNotFoundError,
+    NetworkError,
+    PortInUseError,
+    TransportError,
+)
+from repro.errors import ConnectionRefusedError as SimConnectionRefusedError
+from repro.net.latency import LatencyModel, loopback_profile
+from repro.sim.scheduler import Scheduler
+from repro.util.ids import IdGenerator
+
+
+@dataclass(frozen=True)
+class Address:
+    """A ``(host, port)`` pair identifying a network endpoint."""
+
+    host: str
+    port: int
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+@dataclass
+class Message:
+    """A message in flight on the simulated network."""
+
+    message_id: str
+    source: Address
+    destination: Address
+    payload: bytes
+    sent_at: float
+    delivered_at: float | None = None
+
+    @property
+    def size_bytes(self) -> int:
+        """Size of the payload in bytes (used by the latency model)."""
+        return len(self.payload)
+
+
+class PortListener(Protocol):
+    """Anything able to receive messages bound to a host port."""
+
+    def on_message(self, message: Message, host: "Host") -> None:
+        """Handle a delivered message."""
+
+
+class _CallbackListener:
+    """Adapts a plain callable to the :class:`PortListener` protocol."""
+
+    def __init__(self, callback: Callable[[Message, "Host"], None]) -> None:
+        self._callback = callback
+
+    def on_message(self, message: Message, host: "Host") -> None:
+        self._callback(message, host)
+
+
+@dataclass
+class TrafficStats:
+    """Counters kept per host and per network."""
+
+    messages_sent: int = 0
+    messages_received: int = 0
+    messages_dropped: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+
+class Host:
+    """A named machine attached to a :class:`Network`."""
+
+    def __init__(self, name: str, network: "Network") -> None:
+        self.name = name
+        self.network = network
+        self._listeners: dict[int, PortListener] = {}
+        self.stats = TrafficStats()
+
+    # -- ports ------------------------------------------------------------
+
+    def bind(self, port: int, listener: PortListener | Callable[[Message, "Host"], None]) -> None:
+        """Attach ``listener`` to ``port`` so incoming messages are delivered
+        to it.  Raises :class:`PortInUseError` if the port is already bound."""
+        if port in self._listeners:
+            raise PortInUseError(f"port {port} on host {self.name!r} is already bound")
+        if callable(listener) and not hasattr(listener, "on_message"):
+            listener = _CallbackListener(listener)
+        self._listeners[port] = listener  # type: ignore[assignment]
+
+    def unbind(self, port: int) -> None:
+        """Detach the listener from ``port``; unknown ports are ignored."""
+        self._listeners.pop(port, None)
+
+    def is_bound(self, port: int) -> bool:
+        """True if a listener is currently attached to ``port``."""
+        return port in self._listeners
+
+    @property
+    def bound_ports(self) -> tuple[int, ...]:
+        """The ports that currently have listeners, in ascending order."""
+        return tuple(sorted(self._listeners))
+
+    # -- traffic ----------------------------------------------------------
+
+    def send(
+        self,
+        destination: Address,
+        payload: bytes,
+        source_port: int = 0,
+    ) -> Message:
+        """Send ``payload`` to ``destination`` and return the in-flight message."""
+        if not isinstance(payload, (bytes, bytearray)):
+            raise TransportError(
+                f"payload must be bytes, got {type(payload).__name__}; "
+                "serialise protocol messages before sending"
+            )
+        return self.network.transmit(
+            source=Address(self.name, source_port),
+            destination=destination,
+            payload=bytes(payload),
+        )
+
+    def deliver(self, message: Message) -> None:
+        """Called by the network when a message arrives at this host."""
+        listener = self._listeners.get(message.destination.port)
+        if listener is None:
+            self.stats.messages_dropped += 1
+            raise SimConnectionRefusedError(
+                f"no listener bound to {message.destination} "
+                f"(message from {message.source})"
+            )
+        self.stats.messages_received += 1
+        self.stats.bytes_received += message.size_bytes
+        listener.on_message(message, self)
+
+    def __repr__(self) -> str:
+        return f"Host({self.name!r}, ports={list(self.bound_ports)})"
+
+
+class Network:
+    """The simulated network connecting all hosts.
+
+    Parameters
+    ----------
+    scheduler:
+        The event scheduler driving message delivery.
+    latency:
+        Default latency model applied to every link; individual links can be
+        overridden with :meth:`set_link_latency`.
+    """
+
+    def __init__(self, scheduler: Scheduler, latency: LatencyModel | None = None) -> None:
+        self.scheduler = scheduler
+        self.default_latency = latency if latency is not None else loopback_profile()
+        self._hosts: dict[str, Host] = {}
+        self._link_latency: dict[tuple[str, str], LatencyModel] = {}
+        self._partitions: set[frozenset[str]] = set()
+        self._ids = IdGenerator()
+        self.stats = TrafficStats()
+        self.delivered_messages: list[Message] = []
+
+    # -- topology ---------------------------------------------------------
+
+    def add_host(self, name: str) -> Host:
+        """Create and register a host named ``name``."""
+        if name in self._hosts:
+            raise NetworkError(f"host {name!r} already exists")
+        host = Host(name, self)
+        self._hosts[name] = host
+        return host
+
+    def host(self, name: str) -> Host:
+        """Return the host named ``name``."""
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise HostNotFoundError(f"unknown host {name!r}") from None
+
+    @property
+    def hosts(self) -> tuple[Host, ...]:
+        """All registered hosts in registration order."""
+        return tuple(self._hosts.values())
+
+    def set_link_latency(self, host_a: str, host_b: str, latency: LatencyModel) -> None:
+        """Override the latency model for traffic between two hosts
+        (both directions)."""
+        self._link_latency[(host_a, host_b)] = latency
+        self._link_latency[(host_b, host_a)] = latency
+
+    def link_latency(self, source: str, destination: str) -> LatencyModel:
+        """Return the latency model governing ``source`` → ``destination``."""
+        return self._link_latency.get((source, destination), self.default_latency)
+
+    # -- failure injection --------------------------------------------------
+
+    def partition(self, host_a: str, host_b: str) -> None:
+        """Drop all traffic between the two hosts until :meth:`heal` is called."""
+        self._partitions.add(frozenset((host_a, host_b)))
+
+    def heal(self, host_a: str, host_b: str) -> None:
+        """Remove a previously installed partition."""
+        self._partitions.discard(frozenset((host_a, host_b)))
+
+    def heal_all(self) -> None:
+        """Remove every partition."""
+        self._partitions.clear()
+
+    def is_partitioned(self, host_a: str, host_b: str) -> bool:
+        """True if traffic between the two hosts is currently dropped."""
+        return frozenset((host_a, host_b)) in self._partitions
+
+    # -- transmission -------------------------------------------------------
+
+    def transmit(self, source: Address, destination: Address, payload: bytes) -> Message:
+        """Queue ``payload`` for delivery and return the in-flight message.
+
+        Delivery is scheduled on the event scheduler after the one-way delay
+        given by the governing latency model.  Traffic into a partition is
+        counted as dropped and silently discarded, mirroring packet loss.
+        """
+        source_host = self.host(source.host)
+        # Destination host must exist at send time (name resolution).
+        self.host(destination.host)
+
+        message = Message(
+            message_id=self._ids.next("msg"),
+            source=source,
+            destination=destination,
+            payload=payload,
+            sent_at=self.scheduler.now,
+        )
+        source_host.stats.messages_sent += 1
+        source_host.stats.bytes_sent += message.size_bytes
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += message.size_bytes
+
+        if self.is_partitioned(source.host, destination.host):
+            self.stats.messages_dropped += 1
+            source_host.stats.messages_dropped += 1
+            return message
+
+        latency = self.link_latency(source.host, destination.host)
+        delay = latency.one_way_delay(message.size_bytes)
+        self.scheduler.schedule(
+            delay,
+            self._deliver,
+            message,
+            label=f"deliver {source} -> {destination}",
+        )
+        return message
+
+    def _deliver(self, message: Message) -> None:
+        message.delivered_at = self.scheduler.now
+        self.stats.messages_received += 1
+        self.stats.bytes_received += message.size_bytes
+        self.delivered_messages.append(message)
+        self.host(message.destination.host).deliver(message)
+
+    def __repr__(self) -> str:
+        return f"Network(hosts={list(self._hosts)}, sent={self.stats.messages_sent})"

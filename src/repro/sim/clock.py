@@ -1,0 +1,50 @@
+"""Virtual clock for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+from repro.errors import ClockError
+
+
+class Clock:
+    """A monotonically non-decreasing virtual clock measured in seconds.
+
+    The clock is advanced exclusively by the :class:`repro.sim.Scheduler` as
+    it dispatches events; application code only reads it.  Keeping the unit in
+    (floating point) seconds mirrors the paper's reporting of round-trip
+    times in seconds (Table 1).
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ClockError(f"clock cannot start at a negative time: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """The current virtual time in seconds."""
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to ``time``.
+
+        Raises
+        ------
+        ClockError
+            If ``time`` is earlier than the current time.  Equal times are
+            allowed so that several events scheduled for the same instant can
+            be dispatched in order.
+        """
+        if time < self._now:
+            raise ClockError(
+                f"cannot move clock backwards from {self._now} to {time}"
+            )
+        self._now = float(time)
+
+    def advance_by(self, delta: float) -> None:
+        """Move the clock forward by ``delta`` seconds."""
+        if delta < 0:
+            raise ClockError(f"cannot advance clock by a negative delta: {delta}")
+        self._now += float(delta)
+
+    def __repr__(self) -> str:
+        return f"Clock(now={self._now:.6f})"

@@ -1,0 +1,72 @@
+"""Completion latch used to express blocking operations on the simulator.
+
+Synchronous RMI calls, the §5.7 "stall incoming messages until the publisher
+catches up" behaviour and several tests all need a way to say "wait here until
+some other simulated component signals completion".  In the real system this
+would be a thread blocking on a monitor; on the single-threaded simulator we
+model it with a latch plus ``Scheduler.run_until``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generic, TypeVar
+
+from repro.errors import SimulationError
+from repro.sim.scheduler import Scheduler
+
+T = TypeVar("T")
+
+
+class CompletionLatch(Generic[T]):
+    """A single-use latch carrying either a value or an error."""
+
+    def __init__(self, scheduler: Scheduler, description: str = "operation") -> None:
+        self._scheduler = scheduler
+        self._description = description
+        self._completed = False
+        self._value: T | None = None
+        self._error: BaseException | None = None
+
+    @property
+    def completed(self) -> bool:
+        """True once :meth:`complete` or :meth:`fail` has been called."""
+        return self._completed
+
+    def complete(self, value: T) -> None:
+        """Mark the latch as successfully completed with ``value``."""
+        if self._completed:
+            raise SimulationError(f"{self._description} completed twice")
+        self._completed = True
+        self._value = value
+
+    def fail(self, error: BaseException) -> None:
+        """Mark the latch as failed; :meth:`wait` will re-raise ``error``."""
+        if self._completed:
+            raise SimulationError(f"{self._description} completed twice")
+        self._completed = True
+        self._error = error
+
+    def wait(self, max_events: int = 1_000_000) -> T:
+        """Drive the scheduler until the latch completes, then return/raise.
+
+        Raises
+        ------
+        DeadlockError
+            If the event queue drains before the latch is completed.
+        """
+        self._scheduler.run_until(
+            lambda: self._completed,
+            max_events=max_events,
+            description=self._description,
+        )
+        if self._error is not None:
+            raise self._error
+        return self._value  # type: ignore[return-value]
+
+    def peek(self) -> Any:
+        """Return the completed value without driving the scheduler."""
+        if not self._completed:
+            raise SimulationError(f"{self._description} has not completed yet")
+        if self._error is not None:
+            raise self._error
+        return self._value

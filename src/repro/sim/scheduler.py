@@ -1,0 +1,265 @@
+"""Event scheduler driving the whole simulated system.
+
+The scheduler owns the virtual :class:`~repro.sim.clock.Clock` and a priority
+queue of pending events.  Network message deliveries, publication timers,
+simulated processing delays and workload arrivals are all events; running the
+scheduler to quiescence therefore executes the distributed system
+deterministically in a single OS thread.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import DeadlockError, SchedulerError
+from repro.sim.clock import Clock
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    sequence: int
+    event: "Event" = field(compare=False)
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are returned by :meth:`Scheduler.schedule` so callers can cancel
+    them (the §5.6 publication timer does this when it is *reset*).
+    """
+
+    __slots__ = ("time", "callback", "args", "kwargs", "cancelled", "dispatched", "label")
+
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        args: tuple,
+        kwargs: dict,
+        label: str,
+    ) -> None:
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.kwargs = kwargs
+        self.cancelled = False
+        self.dispatched = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Prevent the event from running when its time arrives."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is neither cancelled nor dispatched."""
+        return not self.cancelled and not self.dispatched
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else ("done" if self.dispatched else "pending")
+        return f"Event({self.label!r} at {self.time:.6f}, {state})"
+
+
+class Scheduler:
+    """Priority-queue based discrete-event scheduler.
+
+    Determinism: events are dispatched in ``(time, insertion order)`` order,
+    so two events scheduled for the same instant run in the order they were
+    scheduled.
+    """
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self.clock = clock if clock is not None else Clock()
+        self._queue: list[_QueueEntry] = []
+        self._sequence = itertools.count()
+        self._dispatched_count = 0
+        self._trace: list[tuple[float, str]] | None = None
+
+    # -- inspection -------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self.clock.now
+
+    @property
+    def pending_count(self) -> int:
+        """Number of events still waiting to be dispatched."""
+        return sum(1 for entry in self._queue if entry.event.pending)
+
+    @property
+    def dispatched_count(self) -> int:
+        """Number of events dispatched since the scheduler was created."""
+        return self._dispatched_count
+
+    def enable_tracing(self) -> None:
+        """Record ``(time, label)`` for every dispatched event.
+
+        Tracing is used by the interleaving experiments (Figures 7 and 8) to
+        report the exact order in which publication and RMI events occurred.
+        """
+        self._trace = []
+
+    @property
+    def trace(self) -> list[tuple[float, str]]:
+        """The recorded dispatch trace (empty unless tracing is enabled)."""
+        return list(self._trace or [])
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "event",
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule ``callback(*args, **kwargs)`` to run ``delay`` seconds
+        from now and return the corresponding :class:`Event`."""
+        if delay < 0:
+            raise SchedulerError(f"cannot schedule an event in the past (delay={delay})")
+        return self.schedule_at(self.now + delay, callback, *args, label=label, **kwargs)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "event",
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule ``callback`` to run at absolute virtual time ``time``."""
+        if time < self.now:
+            raise SchedulerError(
+                f"cannot schedule an event at {time} before current time {self.now}"
+            )
+        event = Event(time, callback, args, kwargs, label)
+        heapq.heappush(self._queue, _QueueEntry(time, next(self._sequence), event))
+        return event
+
+    def call_soon(
+        self, callback: Callable[..., None], *args: Any, label: str = "soon", **kwargs: Any
+    ) -> Event:
+        """Schedule ``callback`` to run at the current virtual time."""
+        return self.schedule(0.0, callback, *args, label=label, **kwargs)
+
+    # -- execution --------------------------------------------------------
+
+    def step(self) -> bool:
+        """Dispatch the next pending event.
+
+        Returns ``True`` if an event was dispatched, ``False`` if the queue
+        was empty (cancelled events are discarded silently).
+        """
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            event = entry.event
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            event.dispatched = True
+            self._dispatched_count += 1
+            if self._trace is not None:
+                self._trace.append((event.time, event.label))
+            event.callback(*event.args, **event.kwargs)
+            return True
+        return False
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> int:
+        """Dispatch events until none remain; return the number dispatched.
+
+        ``max_events`` guards against runaway event loops (a periodic timer
+        that never stops, for instance) turning a test into an infinite loop.
+        """
+        dispatched = 0
+        while self.step():
+            dispatched += 1
+            if dispatched >= max_events:
+                raise SchedulerError(
+                    f"run_until_idle dispatched {max_events} events without quiescing"
+                )
+        return dispatched
+
+    def run_for(self, duration: float, max_events: int = 1_000_000) -> int:
+        """Run events for ``duration`` seconds of virtual time.
+
+        The clock always ends exactly ``duration`` seconds later, even if the
+        queue drains early.
+        """
+        if duration < 0:
+            raise SchedulerError(f"duration must be non-negative, got {duration}")
+        deadline = self.now + duration
+        dispatched = self.run_until_time(deadline, max_events=max_events)
+        if self.now < deadline:
+            self.clock.advance_to(deadline)
+        return dispatched
+
+    def run_until_time(self, deadline: float, max_events: int = 1_000_000) -> int:
+        """Dispatch every event whose time is ``<= deadline``."""
+        dispatched = 0
+        while self._queue:
+            entry = self._queue[0]
+            if entry.event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if entry.time > deadline:
+                break
+            self.step()
+            dispatched += 1
+            if dispatched >= max_events:
+                raise SchedulerError(
+                    f"run_until_time dispatched {max_events} events without reaching the deadline"
+                )
+        if self.now < deadline and not self._has_pending_before(deadline):
+            self.clock.advance_to(deadline)
+        return dispatched
+
+    def run_until(
+        self,
+        condition: Callable[[], bool],
+        max_events: int = 1_000_000,
+        description: str = "condition",
+    ) -> int:
+        """Dispatch events until ``condition()`` becomes true.
+
+        This is the mechanism behind every *blocking* operation in the
+        system: a client issuing a synchronous RMI call posts the request and
+        then drives the scheduler until the reply has been delivered.
+
+        Raises
+        ------
+        DeadlockError
+            If the event queue drains while ``condition()`` is still false —
+            i.e. nothing in the simulated system can ever satisfy it.
+        """
+        dispatched = 0
+        while not condition():
+            if not self.step():
+                raise DeadlockError(
+                    f"no pending events but {description} is still unsatisfied "
+                    f"at t={self.now:.6f}"
+                )
+            dispatched += 1
+            if dispatched >= max_events:
+                raise SchedulerError(
+                    f"run_until dispatched {max_events} events waiting for {description}"
+                )
+        return dispatched
+
+    # -- internals --------------------------------------------------------
+
+    def _has_pending_before(self, deadline: float) -> bool:
+        return any(
+            entry.event.pending and entry.time <= deadline for entry in self._queue
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Scheduler(now={self.now:.6f}, pending={self.pending_count}, "
+            f"dispatched={self._dispatched_count})"
+        )

@@ -1,0 +1,28 @@
+"""SOAP stack: envelopes, encoding, faults, WSDL, and the static baseline.
+
+This package plays the role Apache Axis (plus Tomcat) plays in the paper:
+
+* :mod:`repro.soap.encoding` — XML encoding of the shared RMI type model;
+* :mod:`repro.soap.envelope` — SOAP Request / SOAP Response documents;
+* :mod:`repro.soap.faults` — SOAP Faults, including the ones SDE emits
+  ("Server not initialized", "Malformed SOAP Request", "Non existent Method");
+* :mod:`repro.soap.wsdl` — WSDL generation, parsing and stub compilation
+  (the analogue of Axis' ``Java2WSDL`` / ``WSDL2Java`` tools);
+* :mod:`repro.soap.server` / :mod:`repro.soap.client` — the *static* SOAP
+  server and client used as the Table 1 baseline ("Axis-Tomcat/Axis").
+"""
+
+from repro.soap.faults import SoapFault, FaultCodes
+from repro.soap.envelope import SoapRequest, SoapResponse
+from repro.soap.server import StaticSoapServer, SoapServiceDefinition
+from repro.soap.client import SoapClient
+
+__all__ = [
+    "SoapFault",
+    "FaultCodes",
+    "SoapRequest",
+    "SoapResponse",
+    "StaticSoapServer",
+    "SoapServiceDefinition",
+    "SoapClient",
+]

@@ -1,0 +1,173 @@
+"""Encoding of RMI values to and from SOAP/XSD XML.
+
+The WSDL standard "supports direct encoding of a small subset of Java object
+types and permits the encoding of complex data structures using XML" (§2.1).
+This module maps the shared RMI type model (:mod:`repro.rmitypes`) onto XML
+Schema types and encodes/decodes Python values accordingly:
+
+========================  =======================
+RMI type                  XSD type
+========================  =======================
+``int``                   ``xsd:int``
+``double``                ``xsd:double``
+``float``                 ``xsd:float``
+``boolean``               ``xsd:boolean``
+``string``                ``xsd:string``
+``char``                  ``xsd:string`` (length 1)
+``T[]``                   ``soapenc:Array``
+struct ``S``              ``tns:S`` complex type
+========================  =======================
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import SoapEncodingError
+from repro.rmitypes import (
+    ArrayType,
+    PrimitiveType,
+    RmiType,
+    StructType,
+    TypeRegistry,
+    VOID,
+)
+from repro.xmlutil import Namespaces, QName, XmlElement
+
+_XSD_BY_PRIMITIVE = {
+    "int": "int",
+    "double": "double",
+    "float": "float",
+    "boolean": "boolean",
+    "string": "string",
+    "char": "string",
+    "void": "anyType",
+}
+
+
+def xsd_qname(rmi_type: RmiType, target_namespace: str) -> QName:
+    """Return the XSD (or target-namespace) QName describing ``rmi_type``."""
+    if isinstance(rmi_type, PrimitiveType):
+        return QName(Namespaces.XSD, _XSD_BY_PRIMITIVE[rmi_type.name])
+    if isinstance(rmi_type, ArrayType):
+        return QName(Namespaces.SOAP_ENCODING, "Array")
+    if isinstance(rmi_type, StructType):
+        return QName(target_namespace, rmi_type.name)
+    raise SoapEncodingError(f"cannot map {rmi_type!r} to an XSD type")
+
+
+def type_label(rmi_type: RmiType) -> str:
+    """A compact textual label stored in ``xsi:type``-style attributes."""
+    return rmi_type.type_name
+
+
+def encode_value(
+    name: str,
+    value: Any,
+    rmi_type: RmiType,
+    registry: TypeRegistry | None = None,
+) -> XmlElement:
+    """Encode ``value`` of ``rmi_type`` into an element named ``name``."""
+    rmi_type.validate(value, registry)
+    element = XmlElement(QName.plain(name))
+    element.set_attribute("type", type_label(rmi_type))
+    _encode_into(element, value, rmi_type, registry)
+    return element
+
+
+def _encode_into(
+    element: XmlElement,
+    value: Any,
+    rmi_type: RmiType,
+    registry: TypeRegistry | None,
+) -> None:
+    if isinstance(rmi_type, PrimitiveType):
+        element.text = _encode_primitive(value, rmi_type)
+        return
+    if isinstance(rmi_type, ArrayType):
+        for index, item in enumerate(value):
+            child = element.add(f"item", {"index": str(index)})
+            child.set_attribute("type", type_label(rmi_type.element_type))
+            _encode_into(child, item, rmi_type.element_type, registry)
+        return
+    if isinstance(rmi_type, StructType):
+        for field_def in rmi_type.fields:
+            child = element.add(field_def.name)
+            child.set_attribute("type", type_label(field_def.field_type))
+            _encode_into(child, value[field_def.name], field_def.field_type, registry)
+        return
+    raise SoapEncodingError(f"cannot encode value of type {rmi_type!r}")
+
+
+def _encode_primitive(value: Any, rmi_type: PrimitiveType) -> str:
+    if rmi_type.name == "void":
+        return ""
+    if rmi_type.name == "boolean":
+        return "true" if value else "false"
+    return str(value)
+
+
+def decode_value(
+    element: XmlElement,
+    rmi_type: RmiType,
+    registry: TypeRegistry | None = None,
+) -> Any:
+    """Decode the value carried by ``element`` according to ``rmi_type``."""
+    if isinstance(rmi_type, PrimitiveType):
+        return _decode_primitive(element.text or "", rmi_type)
+    if isinstance(rmi_type, ArrayType):
+        items = []
+        for child in element.children:
+            items.append(decode_value(child, rmi_type.element_type, registry))
+        return items
+    if isinstance(rmi_type, StructType):
+        result: dict[str, Any] = {}
+        for field_def in rmi_type.fields:
+            child = element.find(field_def.name)
+            if child is None:
+                raise SoapEncodingError(
+                    f"struct {rmi_type.name!r} is missing field {field_def.name!r}"
+                )
+            result[field_def.name] = decode_value(child, field_def.field_type, registry)
+        return result
+    raise SoapEncodingError(f"cannot decode value of type {rmi_type!r}")
+
+
+def _decode_primitive(text: str, rmi_type: PrimitiveType) -> Any:
+    try:
+        if rmi_type.name == "void":
+            return None
+        if rmi_type.name == "int":
+            return int(text)
+        if rmi_type.name in ("double", "float"):
+            return float(text)
+        if rmi_type.name == "boolean":
+            if text not in ("true", "false", "1", "0"):
+                raise ValueError(text)
+            return text in ("true", "1")
+        if rmi_type.name == "char":
+            if len(text) != 1:
+                raise ValueError(text)
+            return text
+        return text
+    except ValueError as exc:
+        raise SoapEncodingError(
+            f"cannot decode {text!r} as {rmi_type.name}: {exc}"
+        ) from None
+
+
+def decode_dynamic(element: XmlElement, registry: TypeRegistry | None = None) -> Any:
+    """Decode an element using its embedded ``type`` attribute.
+
+    This is the path the SDE SOAP Call Handler uses for incoming requests:
+    the server does not trust the client's view of the interface, so it
+    decodes what actually arrived and then matches it against the live
+    interface (§5.1.3).
+    """
+    from repro.rmitypes import parse_type  # local import avoids cycle at import time
+
+    label = element.attribute("type")
+    if label is None:
+        raise SoapEncodingError(f"element {element.name} carries no type attribute")
+    rmi_type = parse_type(label, registry)
+    return decode_value(element, rmi_type, registry)

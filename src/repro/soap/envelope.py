@@ -1,0 +1,187 @@
+"""SOAP Request and SOAP Response envelopes.
+
+A SOAP Request "encapsulates the remote method call in a standard textual
+format" (§2.1); the response carries either the return value or a
+:class:`~repro.soap.faults.SoapFault`.  Requests are encoded positionally
+(``arg0``, ``arg1``, ...) with embedded type labels so the server can decode
+them without trusting the client's stub to be current — which is the whole
+point of live development: the client's view may legitimately be stale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.errors import SoapError, XmlError
+from repro.rmitypes import RmiType, TypeRegistry, VOID, infer_type
+from repro.soap.encoding import decode_dynamic, decode_value, encode_value
+from repro.soap.faults import SoapFault
+from repro.xmlutil import Namespaces, QName, XmlElement, parse, serialize
+
+_ENVELOPE = QName(Namespaces.SOAP_ENVELOPE, "Envelope")
+_BODY = QName(Namespaces.SOAP_ENVELOPE, "Body")
+_FAULT = QName(Namespaces.SOAP_ENVELOPE, "Fault")
+
+
+def _wrap_in_envelope(body_child: XmlElement) -> XmlElement:
+    envelope = XmlElement(_ENVELOPE)
+    body = envelope.add_child(XmlElement(_BODY))
+    body.add_child(body_child)
+    return envelope
+
+
+def _body_child(envelope: XmlElement, what: str) -> XmlElement:
+    if envelope.name != _ENVELOPE:
+        raise SoapError(f"{what} root element must be soapenv:Envelope, got {envelope.name}")
+    body = envelope.find(_BODY)
+    if body is None:
+        raise SoapError(f"{what} has no soapenv:Body")
+    if not body.children:
+        raise SoapError(f"{what} Body is empty")
+    return body.children[0]
+
+
+@dataclass
+class SoapRequest:
+    """A SOAP Request: one operation invocation with typed arguments."""
+
+    operation: str
+    arguments: tuple[Any, ...] = ()
+    argument_types: tuple[RmiType, ...] = ()
+    namespace: str = "urn:repro"
+
+    def __post_init__(self) -> None:
+        if self.argument_types and len(self.argument_types) != len(self.arguments):
+            raise SoapError(
+                "argument_types must match arguments "
+                f"({len(self.argument_types)} types for {len(self.arguments)} arguments)"
+            )
+
+    @classmethod
+    def for_call(
+        cls,
+        operation: str,
+        arguments: Sequence[Any],
+        namespace: str = "urn:repro",
+        registry: TypeRegistry | None = None,
+    ) -> "SoapRequest":
+        """Build a request, inferring argument types from the Python values."""
+        types = tuple(infer_type(value, registry) for value in arguments)
+        return cls(operation, tuple(arguments), types, namespace)
+
+    def to_element(self) -> XmlElement:
+        """Render as a full SOAP envelope element."""
+        call = XmlElement(QName(self.namespace, self.operation))
+        types = self.argument_types or tuple(infer_type(v) for v in self.arguments)
+        for index, (value, rmi_type) in enumerate(zip(self.arguments, types)):
+            call.add_child(encode_value(f"arg{index}", value, rmi_type))
+        return _wrap_in_envelope(call)
+
+    def to_xml(self) -> str:
+        """Serialise to the textual wire format."""
+        return serialize(self.to_element())
+
+    @classmethod
+    def from_xml(cls, text: str, registry: TypeRegistry | None = None) -> "SoapRequest":
+        """Parse a SOAP Request from its wire format.
+
+        Raises
+        ------
+        SoapError
+            If the document is not a well-formed SOAP Request.
+        """
+        try:
+            envelope = parse(text)
+        except XmlError as exc:
+            raise SoapError(f"malformed SOAP Request: {exc}") from None
+        call = _body_child(envelope, "SOAP Request")
+        if call.name == _FAULT:
+            raise SoapError("SOAP Request body contains a Fault element")
+        arguments = []
+        types = []
+        for child in call.children:
+            value = decode_dynamic(child, registry)
+            arguments.append(value)
+            from repro.rmitypes import parse_type
+
+            types.append(parse_type(child.attribute("type"), registry))
+        return cls(
+            operation=call.name.local_name,
+            arguments=tuple(arguments),
+            argument_types=tuple(types),
+            namespace=call.name.namespace or "urn:repro",
+        )
+
+
+@dataclass
+class SoapResponse:
+    """A SOAP Response: either a return value or a fault."""
+
+    operation: str
+    return_value: Any = None
+    return_type: RmiType = VOID
+    fault: SoapFault | None = None
+    namespace: str = "urn:repro"
+
+    @property
+    def is_fault(self) -> bool:
+        """True if the response carries a fault instead of a value."""
+        return self.fault is not None
+
+    @classmethod
+    def for_result(
+        cls,
+        operation: str,
+        value: Any,
+        return_type: RmiType,
+        namespace: str = "urn:repro",
+    ) -> "SoapResponse":
+        """A successful response carrying ``value``."""
+        return cls(operation, value, return_type, None, namespace)
+
+    @classmethod
+    def for_fault(cls, operation: str, fault: SoapFault, namespace: str = "urn:repro") -> "SoapResponse":
+        """A fault response."""
+        return cls(operation, None, VOID, fault, namespace)
+
+    def to_element(self) -> XmlElement:
+        """Render as a full SOAP envelope element."""
+        if self.fault is not None:
+            return _wrap_in_envelope(self.fault.to_element())
+        wrapper = XmlElement(QName(self.namespace, f"{self.operation}Response"))
+        wrapper.add_child(encode_value("return", self.return_value, self.return_type))
+        return _wrap_in_envelope(wrapper)
+
+    def to_xml(self) -> str:
+        """Serialise to the textual wire format."""
+        return serialize(self.to_element())
+
+    @classmethod
+    def from_xml(cls, text: str, registry: TypeRegistry | None = None) -> "SoapResponse":
+        """Parse a SOAP Response from its wire format."""
+        try:
+            envelope = parse(text)
+        except XmlError as exc:
+            raise SoapError(f"malformed SOAP Response: {exc}") from None
+        child = _body_child(envelope, "SOAP Response")
+        if child.name == _FAULT:
+            return cls(operation="", fault=SoapFault.from_element(child))
+        if not child.name.local_name.endswith("Response"):
+            raise SoapError(
+                f"SOAP Response body element should end with 'Response', got {child.name}"
+            )
+        operation = child.name.local_name[: -len("Response")]
+        return_element = child.find("return")
+        if return_element is None:
+            return cls(operation=operation, return_value=None, return_type=VOID)
+        value = decode_dynamic(return_element, registry)
+        from repro.rmitypes import parse_type
+
+        return_type = parse_type(return_element.attribute("type"), registry)
+        return cls(
+            operation=operation,
+            return_value=value,
+            return_type=return_type,
+            namespace=child.name.namespace or "urn:repro",
+        )

@@ -1,0 +1,131 @@
+"""Rendering an :class:`InterfaceDescription` into a WSDL document.
+
+The generated document follows the WSDL 1.1 structure the paper describes
+(§2.1): a ``types`` section declaring complex types, per-operation request and
+response ``message`` elements, a ``portType`` listing the operations, a SOAP
+``binding`` and a ``service`` whose ``soap:address`` carries the endpoint
+location.  A *minimal* WSDL document (endpoint address but no operations,
+§5.1.1 footnote) is simply the rendering of a minimal description.
+"""
+
+from __future__ import annotations
+
+from repro.interface import InterfaceDescription, OperationSignature
+from repro.rmitypes import StructType
+from repro.soap.encoding import xsd_qname
+from repro.xmlutil import Namespaces, QName, XmlElement, serialize, serialize_pretty
+
+_WSDL = Namespaces.WSDL
+_SOAP = Namespaces.WSDL_SOAP
+_XSD = Namespaces.XSD
+
+
+def generate_wsdl(description: InterfaceDescription, pretty: bool = False) -> str:
+    """Return the WSDL document describing ``description``."""
+    element = build_wsdl_element(description)
+    return serialize_pretty(element) if pretty else serialize(element)
+
+
+def build_wsdl_element(description: InterfaceDescription) -> XmlElement:
+    """Build the WSDL document as an :class:`XmlElement` tree."""
+    tns = description.namespace
+    definitions = XmlElement(
+        QName(_WSDL, "definitions"),
+        {
+            "name": description.service_name,
+            "targetNamespace": tns,
+            "version": str(description.version),
+        },
+    )
+
+    _add_types(definitions, description)
+    for operation in description.operations:
+        _add_messages(definitions, operation, tns)
+    _add_port_type(definitions, description, tns)
+    _add_binding(definitions, description, tns)
+    _add_service(definitions, description, tns)
+    return definitions
+
+
+def _add_types(definitions: XmlElement, description: InterfaceDescription) -> None:
+    types = definitions.add(QName(_WSDL, "types"))
+    schema = types.add(
+        QName(_XSD, "schema"), {"targetNamespace": description.namespace}
+    )
+    for struct in description.structs:
+        _add_complex_type(schema, struct, description.namespace)
+
+
+def _add_complex_type(schema: XmlElement, struct: StructType, tns: str) -> None:
+    complex_type = schema.add(QName(_XSD, "complexType"), {"name": struct.name})
+    sequence = complex_type.add(QName(_XSD, "sequence"))
+    for field_def in struct.fields:
+        sequence.add(
+            QName(_XSD, "element"),
+            {
+                "name": field_def.name,
+                "type": field_def.field_type.type_name,
+            },
+        )
+
+
+def _add_messages(definitions: XmlElement, operation: OperationSignature, tns: str) -> None:
+    request = definitions.add(
+        QName(_WSDL, "message"), {"name": f"{operation.name}Request"}
+    )
+    for parameter in operation.parameters:
+        request.add(
+            QName(_WSDL, "part"),
+            {"name": parameter.name, "type": parameter.param_type.type_name},
+        )
+    response = definitions.add(
+        QName(_WSDL, "message"), {"name": f"{operation.name}Response"}
+    )
+    response.add(
+        QName(_WSDL, "part"),
+        {"name": "return", "type": operation.return_type.type_name},
+    )
+
+
+def _add_port_type(definitions: XmlElement, description: InterfaceDescription, tns: str) -> None:
+    port_type = definitions.add(
+        QName(_WSDL, "portType"), {"name": f"{description.service_name}PortType"}
+    )
+    for operation in description.operations:
+        op_element = port_type.add(QName(_WSDL, "operation"), {"name": operation.name})
+        op_element.add(QName(_WSDL, "input"), {"message": f"{operation.name}Request"})
+        op_element.add(QName(_WSDL, "output"), {"message": f"{operation.name}Response"})
+
+
+def _add_binding(definitions: XmlElement, description: InterfaceDescription, tns: str) -> None:
+    binding = definitions.add(
+        QName(_WSDL, "binding"),
+        {
+            "name": f"{description.service_name}SoapBinding",
+            "type": f"{description.service_name}PortType",
+        },
+    )
+    binding.add(
+        QName(_SOAP, "binding"),
+        {"style": "rpc", "transport": "http://schemas.xmlsoap.org/soap/http"},
+    )
+    for operation in description.operations:
+        op_element = binding.add(QName(_WSDL, "operation"), {"name": operation.name})
+        op_element.add(
+            QName(_SOAP, "operation"),
+            {"soapAction": f"{description.namespace}#{operation.name}"},
+        )
+
+
+def _add_service(definitions: XmlElement, description: InterfaceDescription, tns: str) -> None:
+    service = definitions.add(
+        QName(_WSDL, "service"), {"name": description.service_name}
+    )
+    port = service.add(
+        QName(_WSDL, "port"),
+        {
+            "name": f"{description.service_name}Port",
+            "binding": f"{description.service_name}SoapBinding",
+        },
+    )
+    port.add(QName(_SOAP, "address"), {"location": description.endpoint_url})

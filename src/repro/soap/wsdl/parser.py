@@ -1,0 +1,185 @@
+"""Parsing a WSDL document back into an :class:`InterfaceDescription`.
+
+This is the client-side half of the round trip (the ``WSDL Compiler`` box in
+Figure 1): CDE fetches the published WSDL over HTTP, parses it with this
+module and hands the resulting description to the stub compiler.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WsdlError, XmlError
+from repro.interface import InterfaceDescription, OperationSignature, Parameter
+from repro.rmitypes import FieldDef, StructType, TypeRegistry, parse_type
+from repro.xmlutil import Namespaces, QName, XmlElement, parse
+
+_WSDL = Namespaces.WSDL
+_SOAP = Namespaces.WSDL_SOAP
+_XSD = Namespaces.XSD
+
+
+def parse_wsdl(text: str) -> InterfaceDescription:
+    """Parse a WSDL document and return the interface it describes.
+
+    Raises
+    ------
+    WsdlError
+        If the document is not well-formed WSDL.
+    """
+    try:
+        root = parse(text)
+    except XmlError as exc:
+        raise WsdlError(f"malformed WSDL document: {exc}") from None
+    if root.name != QName(_WSDL, "definitions"):
+        raise WsdlError(f"root element must be wsdl:definitions, got {root.name}")
+
+    service_name = root.attribute("name")
+    namespace = root.attribute("targetNamespace")
+    if not service_name or not namespace:
+        raise WsdlError("wsdl:definitions must carry name and targetNamespace")
+    version_text = root.attribute("version", "0")
+    try:
+        version = int(version_text)
+    except ValueError:
+        raise WsdlError(f"malformed version attribute {version_text!r}") from None
+
+    structs = _parse_structs(root)
+    registry = TypeRegistry(structs)
+    messages = _parse_messages(root, registry)
+    operations = _parse_port_type(root, messages)
+    endpoint_url = _parse_endpoint(root)
+
+    return InterfaceDescription(
+        service_name=service_name,
+        namespace=namespace,
+        operations=tuple(sorted(operations, key=lambda op: op.name)),
+        structs=tuple(sorted(structs, key=lambda s: s.name)),
+        version=version,
+        endpoint_url=endpoint_url,
+    )
+
+
+def _parse_structs(root: XmlElement) -> list[StructType]:
+    structs: list[StructType] = []
+    types = root.find(QName(_WSDL, "types"))
+    if types is None:
+        return structs
+    schema = types.find(QName(_XSD, "schema"))
+    if schema is None:
+        return structs
+
+    # Two passes so structs may reference each other regardless of order:
+    # first create empty shells, then resolve field types.
+    raw: list[tuple[str, list[tuple[str, str]]]] = []
+    for complex_type in schema.find_all(QName(_XSD, "complexType")):
+        name = complex_type.attribute("name")
+        if not name:
+            raise WsdlError("complexType without a name")
+        sequence = complex_type.find(QName(_XSD, "sequence"))
+        fields: list[tuple[str, str]] = []
+        if sequence is not None:
+            for element in sequence.find_all(QName(_XSD, "element")):
+                field_name = element.attribute("name")
+                field_type = element.attribute("type")
+                if not field_name or not field_type:
+                    raise WsdlError(f"malformed field in complexType {name!r}")
+                fields.append((field_name, field_type))
+        raw.append((name, fields))
+
+    shell_registry = TypeRegistry(StructType(name) for name, _fields in raw)
+    for name, fields in raw:
+        structs.append(
+            StructType(
+                name,
+                tuple(
+                    FieldDef(field_name, parse_type(type_name, shell_registry))
+                    for field_name, type_name in fields
+                ),
+            )
+        )
+    # Rebuild with fully-resolved structs so nested struct fields point at the
+    # complete definitions.
+    final_registry = TypeRegistry(structs)
+    resolved = []
+    for struct in structs:
+        resolved.append(
+            StructType(
+                struct.name,
+                tuple(
+                    FieldDef(
+                        f.name,
+                        parse_type(f.field_type.type_name, final_registry),
+                    )
+                    for f in struct.fields
+                ),
+            )
+        )
+    return resolved
+
+
+def _parse_messages(
+    root: XmlElement, registry: TypeRegistry
+) -> dict[str, list[tuple[str, "object"]]]:
+    """Return message name -> list of (part name, resolved type).
+
+    Parts are kept as plain tuples because response messages use the part
+    name ``return``, which is not a legal parameter identifier.
+    """
+    messages: dict[str, list[tuple[str, object]]] = {}
+    for message in root.find_all(QName(_WSDL, "message")):
+        name = message.attribute("name")
+        if not name:
+            raise WsdlError("wsdl:message without a name")
+        parts: list[tuple[str, object]] = []
+        for part in message.find_all(QName(_WSDL, "part")):
+            part_name = part.attribute("name")
+            part_type = part.attribute("type")
+            if not part_name or not part_type:
+                raise WsdlError(f"malformed part in message {name!r}")
+            parts.append((part_name, parse_type(part_type, registry)))
+        messages[name] = parts
+    return messages
+
+
+def _parse_port_type(
+    root: XmlElement, messages: dict[str, list[tuple[str, object]]]
+) -> list[OperationSignature]:
+    operations: list[OperationSignature] = []
+    port_type = root.find(QName(_WSDL, "portType"))
+    if port_type is None:
+        return operations
+    for op_element in port_type.find_all(QName(_WSDL, "operation")):
+        name = op_element.attribute("name")
+        if not name:
+            raise WsdlError("wsdl:operation without a name")
+        input_element = op_element.find(QName(_WSDL, "input"))
+        output_element = op_element.find(QName(_WSDL, "output"))
+        request_message = input_element.attribute("message") if input_element is not None else None
+        response_message = output_element.attribute("message") if output_element is not None else None
+        parameters = tuple(
+            Parameter(part_name, part_type)
+            for part_name, part_type in messages.get(request_message or "", [])
+        )
+        return_parts = messages.get(response_message or "", [])
+        if return_parts:
+            return_type = return_parts[0][1]
+        else:
+            from repro.rmitypes import VOID
+
+            return_type = VOID
+        operations.append(
+            OperationSignature(name=name, parameters=parameters, return_type=return_type)
+        )
+    return operations
+
+
+def _parse_endpoint(root: XmlElement) -> str:
+    service = root.find(QName(_WSDL, "service"))
+    if service is None:
+        return ""
+    port = service.find(QName(_WSDL, "port"))
+    if port is None:
+        return ""
+    address = port.find(QName(_SOAP, "address"))
+    if address is None:
+        return ""
+    return address.attribute("location", "") or ""

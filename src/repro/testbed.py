@@ -1,0 +1,150 @@
+"""A convenience test/benchmark/example harness.
+
+Almost every experiment, example and integration test needs the same setup:
+a scheduler, a two-host network (the paper's client PowerBook and server
+desktop), a JPie environment with an SDE Manager on the server host, and a
+CDE on the client host.  :class:`LiveDevelopmentTestbed` builds exactly that
+and provides helpers for the most common developer actions (creating a
+server class, adding distributed methods, connecting a client binding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.core.cde import ClientDevelopmentEnvironment, DynamicClientBinding
+from repro.core.sde import SDEConfig, SDEManager, SDEManagerInterface
+from repro.interface import Parameter
+from repro.jpie import DynamicClass, DynamicInstance, JPieEnvironment
+from repro.net import LatencyModel, Network, t1_lan_profile
+from repro.net.latency import CostModel
+from repro.rmitypes import RmiType, VOID
+from repro.sim import Scheduler
+
+#: Relative speed of the paper's client machine (1 GHz PowerBook G4) compared
+#: with its server machine (3.2 GHz Pentium 4).
+CLIENT_SPEED_FACTOR = 2.5
+
+
+@dataclass
+class OperationSpec:
+    """A compact way to describe a distributed method for the testbed."""
+
+    name: str
+    parameters: tuple[tuple[str, RmiType], ...]
+    return_type: RmiType = VOID
+    body: Callable[..., Any] | None = None
+
+    def parameter_objects(self) -> tuple[Parameter, ...]:
+        """Convert the ``(name, type)`` pairs into Parameter objects."""
+        return tuple(Parameter(name, rmi_type) for name, rmi_type in self.parameters)
+
+
+class LiveDevelopmentTestbed:
+    """A complete two-machine live-development world."""
+
+    def __init__(
+        self,
+        latency: LatencyModel | None = None,
+        cost_model: CostModel | None = None,
+        sde_config: SDEConfig | None = None,
+        client_speed_factor: float = CLIENT_SPEED_FACTOR,
+    ) -> None:
+        self.scheduler = Scheduler()
+        self.network = Network(self.scheduler, latency or t1_lan_profile())
+        self.server_host = self.network.add_host("server")
+        self.client_host = self.network.add_host("client")
+
+        config = sde_config if sde_config is not None else SDEConfig()
+        if cost_model is not None and config.cost_model is None:
+            config.cost_model = cost_model
+
+        self.environment = JPieEnvironment("server-jpie")
+        self.sde = SDEManager(self.environment, self.scheduler, self.server_host, config)
+        self.manager_interface = SDEManagerInterface(self.sde)
+        self.cde = ClientDevelopmentEnvironment(
+            self.client_host,
+            cost_model=cost_model,
+            speed_factor=client_speed_factor,
+        )
+
+    # -- developer actions on the server ------------------------------------------
+
+    def create_soap_server(
+        self, name: str, operations: Iterable[OperationSpec] = ()
+    ) -> tuple[DynamicClass, DynamicInstance]:
+        """Create a SOAP server class with the given distributed methods,
+        instantiate it, and return ``(class, instance)``."""
+        return self._create_server(name, self.sde.soap_server_class, operations)
+
+    def create_corba_server(
+        self, name: str, operations: Iterable[OperationSpec] = ()
+    ) -> tuple[DynamicClass, DynamicInstance]:
+        """Create a CORBA server class with the given distributed methods,
+        instantiate it, and return ``(class, instance)``."""
+        return self._create_server(name, self.sde.corba_server_class, operations)
+
+    def _create_server(
+        self,
+        name: str,
+        gateway: DynamicClass,
+        operations: Iterable[OperationSpec],
+    ) -> tuple[DynamicClass, DynamicInstance]:
+        dynamic_class = self.environment.create_class(name, superclass=gateway)
+        for spec in operations:
+            dynamic_class.add_method(
+                spec.name,
+                spec.parameter_objects(),
+                spec.return_type,
+                body=spec.body,
+                distributed=True,
+            )
+        instance = dynamic_class.new_instance()
+        return dynamic_class, instance
+
+    def publish_now(self, class_name: str) -> None:
+        """Force publication of the named server's interface and let the
+        generation complete."""
+        self.manager_interface.force_publication(class_name)
+        self.run_for(self.sde.config.generation_cost * 2)
+
+    def settle(self, class_name: str | None = None) -> None:
+        """Let pending stability timers expire and publications complete."""
+        margin = self.sde.config.publication_timeout + self.sde.config.generation_cost * 2
+        self.run_for(margin + 0.001)
+
+    # -- client actions --------------------------------------------------------------
+
+    def connect_soap_client(
+        self, class_name: str, reactive_updates: bool = True
+    ) -> DynamicClientBinding:
+        """Connect a CDE binding to the named managed SOAP server."""
+        publisher = self.sde.managed_server(class_name).publisher
+        return self.cde.connect_soap(publisher.document_url, reactive_updates=reactive_updates)
+
+    def connect_corba_client(
+        self, class_name: str, reactive_updates: bool = True
+    ) -> DynamicClientBinding:
+        """Connect a CDE binding to the named managed CORBA server."""
+        publisher = self.sde.managed_server(class_name).publisher
+        return self.cde.connect_corba(
+            publisher.document_url,
+            publisher.ior_url,  # type: ignore[attr-defined]
+            reactive_updates=reactive_updates,
+        )
+
+    # -- time control -------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.scheduler.now
+
+    def run_for(self, duration: float) -> None:
+        """Advance virtual time by ``duration`` seconds."""
+        self.scheduler.run_for(duration)
+
+    def run_until_idle(self) -> None:
+        """Run until no simulated work remains."""
+        self.scheduler.run_until_idle()

@@ -1,0 +1,63 @@
+"""Deterministic identifier generation.
+
+Wall-clock based UUIDs would break reproducibility of the simulation, so all
+identifiers in the system come from :class:`IdGenerator` instances (or the
+module-level :func:`fresh_id` helper) which produce stable, human-readable
+identifiers such as ``"request-17"``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+
+
+class IdGenerator:
+    """Produces sequential identifiers, one counter per prefix.
+
+    >>> gen = IdGenerator()
+    >>> gen.next("request")
+    'request-1'
+    >>> gen.next("request")
+    'request-2'
+    >>> gen.next("timer")
+    'timer-1'
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, itertools.count] = defaultdict(
+            lambda: itertools.count(1)
+        )
+
+    def next(self, prefix: str) -> str:
+        """Return the next identifier for ``prefix``."""
+        return f"{prefix}-{next(self._counters[prefix])}"
+
+    def peek(self, prefix: str) -> int:
+        """Return how many identifiers have been issued for ``prefix``.
+
+        This is primarily useful in tests asserting on allocation counts.
+        """
+        counter = self._counters[prefix]
+        # itertools.count has no public inspection API; we clone by issuing
+        # and recreating, which is cheap and keeps the abstraction simple.
+        value = next(counter)
+        self._counters[prefix] = itertools.count(value)
+        return value - 1
+
+    def reset(self) -> None:
+        """Forget all counters (used between test cases)."""
+        self._counters.clear()
+
+
+_GLOBAL = IdGenerator()
+
+
+def fresh_id(prefix: str) -> str:
+    """Return a fresh identifier from the process-wide generator."""
+    return _GLOBAL.next(prefix)
+
+
+def reset_global_ids() -> None:
+    """Reset the process-wide generator (test helper)."""
+    _GLOBAL.reset()

@@ -1,0 +1,22 @@
+"""Namespace-aware XML building, serialisation and parsing helpers.
+
+SOAP envelopes and WSDL documents are namespace-heavy XML; this package
+provides a small element model (:class:`XmlElement`), qualified names
+(:class:`QName`), a deterministic serialiser, and a parser built on the
+standard library's ``xml.etree.ElementTree`` that converts documents back
+into the element model with namespaces resolved.
+"""
+
+from repro.xmlutil.qname import QName, Namespaces
+from repro.xmlutil.element import XmlElement
+from repro.xmlutil.serializer import serialize, serialize_pretty
+from repro.xmlutil.parser import parse
+
+__all__ = [
+    "QName",
+    "Namespaces",
+    "XmlElement",
+    "serialize",
+    "serialize_pretty",
+    "parse",
+]

@@ -1,0 +1,116 @@
+"""Deterministic serialisation of :class:`XmlElement` trees.
+
+The serialiser collects every namespace used anywhere in the document,
+declares all of them on the root element with stable prefixes (well-known
+namespaces get their conventional prefixes, others get ``ns0``, ``ns1``, ...)
+and escapes text and attribute values.  Determinism matters because the
+published WSDL/IDL documents are compared byte-for-byte by the SDE publisher
+to detect redundant publications.
+"""
+
+from __future__ import annotations
+
+from repro.xmlutil.element import XmlElement
+from repro.xmlutil.qname import Namespaces, QName
+
+_XML_DECLARATION = '<?xml version="1.0" encoding="UTF-8"?>'
+
+
+def _escape_text(value: str) -> str:
+    return (
+        value.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+    )
+
+
+def _escape_attribute(value: str) -> str:
+    return _escape_text(value).replace('"', "&quot;")
+
+
+def _collect_namespaces(root: XmlElement) -> list[str]:
+    seen: list[str] = []
+    for element in root.iter():
+        names = [element.name] + list(element.attributes.keys())
+        for qname in names:
+            if qname.namespace and qname.namespace not in seen:
+                seen.append(qname.namespace)
+    return seen
+
+
+def _assign_prefixes(namespaces: list[str]) -> dict[str, str]:
+    prefixes: dict[str, str] = {}
+    counter = 0
+    for namespace in namespaces:
+        well_known = Namespaces.DEFAULT_PREFIXES.get(namespace)
+        if well_known and well_known not in prefixes.values():
+            prefixes[namespace] = well_known
+        else:
+            prefixes[namespace] = f"ns{counter}"
+            counter += 1
+    return prefixes
+
+
+def _qualified(qname: QName, prefixes: dict[str, str]) -> str:
+    if qname.namespace:
+        return f"{prefixes[qname.namespace]}:{qname.local_name}"
+    return qname.local_name
+
+
+def serialize(root: XmlElement, xml_declaration: bool = True) -> str:
+    """Serialise ``root`` to a compact, single-line-per-document string."""
+    return _serialize(root, pretty=False, xml_declaration=xml_declaration)
+
+
+def serialize_pretty(root: XmlElement, xml_declaration: bool = True) -> str:
+    """Serialise ``root`` with two-space indentation for human consumption
+    (the SDE Manager Interface's "view the WSDL/CORBA-IDL" feature)."""
+    return _serialize(root, pretty=True, xml_declaration=xml_declaration)
+
+
+def _serialize(root: XmlElement, pretty: bool, xml_declaration: bool) -> str:
+    namespaces = _collect_namespaces(root)
+    prefixes = _assign_prefixes(namespaces)
+    parts: list[str] = []
+    if xml_declaration:
+        parts.append(_XML_DECLARATION)
+        if pretty:
+            parts.append("\n")
+    _write_element(root, prefixes, parts, pretty, depth=0, declare_namespaces=True)
+    return "".join(parts)
+
+
+def _write_element(
+    element: XmlElement,
+    prefixes: dict[str, str],
+    parts: list[str],
+    pretty: bool,
+    depth: int,
+    declare_namespaces: bool,
+) -> None:
+    indent = "  " * depth if pretty else ""
+    newline = "\n" if pretty else ""
+
+    tag = _qualified(element.name, prefixes)
+    attribute_parts: list[str] = []
+    if declare_namespaces:
+        for namespace, prefix in prefixes.items():
+            attribute_parts.append(f'xmlns:{prefix}="{_escape_attribute(namespace)}"')
+    for name, value in element.attributes.items():
+        attribute_parts.append(f'{_qualified(name, prefixes)}="{_escape_attribute(value)}"')
+
+    attributes_text = (" " + " ".join(attribute_parts)) if attribute_parts else ""
+
+    if not element.children and not element.text:
+        parts.append(f"{indent}<{tag}{attributes_text}/>{newline}")
+        return
+
+    parts.append(f"{indent}<{tag}{attributes_text}>")
+    if element.text:
+        parts.append(_escape_text(element.text))
+    if element.children:
+        parts.append(newline)
+        for child in element.children:
+            _write_element(child, prefixes, parts, pretty, depth + 1, declare_namespaces=False)
+        parts.append(indent)
+    parts.append(f"</{tag}>{newline}")

@@ -1,0 +1,73 @@
+"""Shared pytest fixtures for the reproduction's test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sde import SDEConfig
+from repro.net import Network, loopback_profile, t1_lan_profile
+from repro.net.latency import era_2004_cost_model
+from repro.rmitypes import INT, STRING
+from repro.sim import Scheduler
+from repro.testbed import LiveDevelopmentTestbed, OperationSpec
+from repro.util.ids import reset_global_ids
+
+
+@pytest.fixture(autouse=True)
+def _reset_ids():
+    """Keep generated identifiers deterministic within each test."""
+    reset_global_ids()
+    yield
+    reset_global_ids()
+
+
+@pytest.fixture
+def scheduler() -> Scheduler:
+    """A fresh discrete-event scheduler."""
+    return Scheduler()
+
+
+@pytest.fixture
+def network(scheduler: Scheduler) -> Network:
+    """A loopback-latency network with ``server`` and ``client`` hosts."""
+    net = Network(scheduler, loopback_profile())
+    net.add_host("server")
+    net.add_host("client")
+    return net
+
+
+@pytest.fixture
+def lan_network(scheduler: Scheduler) -> Network:
+    """A T1-LAN-latency network with ``server`` and ``client`` hosts."""
+    net = Network(scheduler, t1_lan_profile())
+    net.add_host("server")
+    net.add_host("client")
+    return net
+
+
+@pytest.fixture
+def testbed() -> LiveDevelopmentTestbed:
+    """A complete live-development world with fast publication settings."""
+    return LiveDevelopmentTestbed(
+        sde_config=SDEConfig(publication_timeout=1.0, generation_cost=0.05)
+    )
+
+
+@pytest.fixture
+def calculator_testbed(testbed: LiveDevelopmentTestbed):
+    """A testbed with a published SOAP Calculator and a connected client."""
+    calculator, instance = testbed.create_soap_server(
+        "Calculator",
+        [
+            OperationSpec("add", (("a", INT), ("b", INT)), INT, body=lambda self, a, b: a + b),
+            OperationSpec("greet", (("name", STRING),), STRING, body=lambda self, name: f"hello {name}"),
+        ],
+    )
+    testbed.publish_now("Calculator")
+    binding = testbed.connect_soap_client("Calculator")
+    return testbed, calculator, instance, binding
+
+
+def make_echo_operation():
+    """A reusable echo operation spec."""
+    return OperationSpec("echo", (("message", STRING),), STRING, body=lambda self, m: m)

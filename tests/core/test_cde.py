@@ -1,0 +1,163 @@
+"""Tests for CDE: dynamic client bindings, stub management, §6 client side."""
+
+import pytest
+
+from repro.core.cde import ClientStubManager
+from repro.errors import NonExistentMethodError, StubError
+from repro.rmitypes import INT, STRING
+from repro.testbed import LiveDevelopmentTestbed, OperationSpec
+
+
+def _calculator_operations():
+    return [
+        OperationSpec("add", (("a", INT), ("b", INT)), INT, body=lambda self, a, b: a + b),
+        OperationSpec("greet", (("name", STRING),), STRING, body=lambda self, name: f"hi {name}"),
+    ]
+
+
+class TestBindingBasics:
+    def test_connect_fetches_interface(self, calculator_testbed):
+        _testbed, _calculator, _instance, binding = calculator_testbed
+        assert binding.service_name == "Calculator"
+        assert set(binding.description.operation_names()) == {"add", "greet"}
+        assert binding.interface_version >= 1
+
+    def test_invoke_known_operation(self, calculator_testbed):
+        _testbed, _calculator, _instance, binding = calculator_testbed
+        assert binding.invoke("add", 2, 3) == 5
+        assert binding.invoke("greet", "kim") == "hello kim"
+        assert binding.stats.successful_calls == 2
+
+    def test_unknown_technology_rejected(self, calculator_testbed):
+        testbed, _calculator, _instance, _binding = calculator_testbed
+        with pytest.raises(StubError):
+            from repro.core.cde.binding import DynamicClientBinding
+
+            DynamicClientBinding(testbed.cde, "rmi", "http://server:8080/doc")
+
+    def test_corba_binding_requires_ior_url(self, calculator_testbed):
+        testbed, _calculator, _instance, _binding = calculator_testbed
+        with pytest.raises(StubError):
+            from repro.core.cde.binding import DynamicClientBinding
+
+            DynamicClientBinding(testbed.cde, "corba", "http://server:8080/doc")
+
+    def test_refresh_reports_interface_diff(self, calculator_testbed):
+        testbed, calculator, _instance, binding = calculator_testbed
+        calculator.add_method("square", (), INT, body=lambda self: 0, distributed=True)
+        testbed.publish_now("Calculator")
+        diff = binding.refresh()
+        assert diff.added == ("square",)
+        assert binding.description.has_operation("square")
+        assert binding.stats.refreshes >= 2
+
+
+class TestStaleCallHandling:
+    """The client half of the §6 algorithm."""
+
+    def test_stale_call_refreshes_view_and_reports_to_debugger(self, calculator_testbed):
+        testbed, calculator, _instance, binding = calculator_testbed
+        calculator.method("add").rename("sum")
+        with pytest.raises(NonExistentMethodError):
+            binding.invoke("add", 1, 2)
+        # The view was refreshed to the forced publication.
+        assert binding.description.has_operation("sum")
+        assert not binding.description.has_operation("add")
+        # The debugger shows the error with the interface diff.
+        entry = testbed.cde.debugger.latest()
+        assert entry is not None
+        assert "add" in str(entry.exception)
+        assert "sum" in entry.description
+
+    def test_guarantee_record_satisfied(self, calculator_testbed):
+        _testbed, calculator, _instance, binding = calculator_testbed
+        calculator.method("add").rename("sum")
+        with pytest.raises(NonExistentMethodError):
+            binding.invoke("add", 1, 2)
+        record = binding.guarantee_records[-1]
+        assert record.satisfied
+        assert record.client_version_after_refresh >= record.server_version
+        assert "sum" in record.interface_diff.added
+
+    def test_try_again_after_developer_adapts(self, calculator_testbed):
+        """Figure 9: the developer inspects the error, fixes the call site,
+        and re-executes via the debugger's 'try again'."""
+        testbed, calculator, _instance, binding = calculator_testbed
+        calculator.method("add").rename("sum")
+        with pytest.raises(NonExistentMethodError):
+            binding.invoke("add", 1, 2)
+        entry = testbed.cde.debugger.latest()
+        # The server developer renames the method back (the §6 corner case);
+        # 'try again' then succeeds with the original call.
+        calculator.method("sum").rename("add")
+        testbed.publish_now("Calculator")
+        assert testbed.cde.debugger.try_again(entry) == 3
+        assert entry.resolved
+
+    def test_naive_client_does_not_refresh(self, calculator_testbed):
+        testbed, calculator, _instance, _binding = calculator_testbed
+        naive = testbed.connect_soap_client("Calculator", reactive_updates=False)
+        calculator.method("add").rename("sum")
+        with pytest.raises(NonExistentMethodError):
+            naive.invoke("add", 1, 2)
+        # View not refreshed: the stale operation is still the one it knows.
+        assert naive.description.has_operation("add")
+        assert naive.guarantee_records == []
+
+    def test_stale_faults_counted(self, calculator_testbed):
+        _testbed, calculator, _instance, binding = calculator_testbed
+        calculator.method("add").rename("sum")
+        with pytest.raises(NonExistentMethodError):
+            binding.invoke("add", 1, 2)
+        assert binding.stats.stale_faults == 1
+
+
+class TestClientStubManager:
+    def test_stub_class_mirrors_interface(self, calculator_testbed):
+        testbed, _calculator, _instance, binding = calculator_testbed
+        manager = testbed.cde.create_stub_class(binding)
+        assert set(manager.operation_names) == {"add", "greet"}
+        stub = manager.new_stub_instance()
+        assert stub.add(4, 5) == 9
+
+    def test_stub_class_updates_on_refresh(self, calculator_testbed):
+        testbed, calculator, _instance, binding = calculator_testbed
+        manager = testbed.cde.create_stub_class(binding)
+        stub = manager.new_stub_instance()
+        calculator.add_method("square", (), INT, body=lambda self: 0, distributed=True)
+        testbed.publish_now("Calculator")
+        binding.refresh()
+        assert "square" in manager.operation_names
+        assert stub.square() == 0
+
+    def test_stub_methods_removed_when_server_drops_them(self, calculator_testbed):
+        testbed, calculator, _instance, binding = calculator_testbed
+        manager = testbed.cde.create_stub_class(binding)
+        calculator.remove_method("greet")
+        testbed.publish_now("Calculator")
+        binding.refresh()
+        assert "greet" not in manager.operation_names
+
+    def test_stub_signature_changes_propagate_to_live_instances(self, calculator_testbed):
+        testbed, calculator, _instance, binding = calculator_testbed
+        manager = testbed.cde.create_stub_class(binding)
+        stub = manager.new_stub_instance()
+        from repro.interface import Parameter
+
+        method = calculator.method("add")
+        method.set_parameters((Parameter("a", INT), Parameter("b", INT), Parameter("c", INT)))
+        method.set_body(lambda self, a, b, c: a + b + c)
+        testbed.publish_now("Calculator")
+        binding.refresh()
+        assert stub.add(1, 2, 3) == 6
+
+    def test_automatic_update_on_stale_fault(self, calculator_testbed):
+        """The binding refresh triggered by a stale fault also updates stubs."""
+        testbed, calculator, _instance, binding = calculator_testbed
+        manager = testbed.cde.create_stub_class(binding)
+        calculator.method("add").rename("sum")
+        with pytest.raises(NonExistentMethodError):
+            binding.invoke("add", 1, 2)
+        assert "sum" in manager.operation_names
+        assert "add" not in manager.operation_names
+        assert manager.updates_applied >= 2

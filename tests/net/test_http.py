@@ -1,0 +1,209 @@
+"""Tests for the HTTP substrate: messages, server, client."""
+
+import pytest
+
+from repro.errors import HttpError
+from repro.net.http import (
+    DeferredHttpResponse,
+    HttpClient,
+    HttpRequest,
+    HttpResponse,
+    HttpServer,
+    StatusCodes,
+)
+
+
+class TestHttpRequestMessage:
+    def test_wire_roundtrip(self):
+        request = HttpRequest("POST", "/services/Calc", {"Content-Type": "text/xml"}, "<x/>")
+        parsed = HttpRequest.from_bytes(request.to_bytes())
+        assert parsed.method == "POST"
+        assert parsed.path == "/services/Calc"
+        assert parsed.header("content-type") == "text/xml"
+        assert parsed.body == "<x/>"
+
+    def test_content_length_added(self):
+        request = HttpRequest("POST", "/x", body="hello")
+        assert b"Content-Length: 5" in request.to_bytes()
+
+    def test_header_lookup_case_insensitive(self):
+        request = HttpRequest("GET", "/", {"SOAPAction": "urn:a#b"})
+        assert request.header("soapaction") == "urn:a#b"
+
+    def test_unsupported_method_rejected(self):
+        with pytest.raises(HttpError):
+            HttpRequest("FETCH", "/x")
+
+    def test_path_must_be_absolute(self):
+        with pytest.raises(HttpError):
+            HttpRequest("GET", "x")
+
+    def test_malformed_bytes_rejected(self):
+        with pytest.raises(HttpError):
+            HttpRequest.from_bytes(b"not an http request")
+
+    def test_malformed_header_line_rejected(self):
+        raw = b"GET / HTTP/1.1\r\nBadHeaderNoColon\r\n\r\n"
+        with pytest.raises(HttpError):
+            HttpRequest.from_bytes(raw)
+
+
+class TestHttpResponseMessage:
+    def test_wire_roundtrip(self):
+        response = HttpResponse(200, {"Content-Type": "text/plain"}, "ok")
+        parsed = HttpResponse.from_bytes(response.to_bytes())
+        assert parsed.status == 200
+        assert parsed.body == "ok"
+        assert parsed.ok
+
+    def test_error_statuses_not_ok(self):
+        assert not HttpResponse(404).ok
+        assert not HttpResponse(500).ok
+
+    def test_reason_phrases(self):
+        assert StatusCodes.reason(200) == "OK"
+        assert StatusCodes.reason(404) == "Not Found"
+        assert StatusCodes.reason(599) == "Unknown"
+
+    def test_convenience_constructors(self):
+        assert HttpResponse.ok_xml("<a/>").header("content-type").startswith("text/xml")
+        assert HttpResponse.not_found("missing").status == 404
+        assert HttpResponse.server_error("boom").status == 500
+
+    def test_malformed_status_rejected(self):
+        raw = b"HTTP/1.1 abc Bad\r\n\r\n"
+        with pytest.raises(HttpError):
+            HttpResponse.from_bytes(raw)
+
+
+class TestHttpServerAndClient:
+    def _serve(self, network, handler, path="/test", methods=("GET", "POST")):
+        server = HttpServer(network.host("server"), 8080)
+        server.add_route(path, handler, methods=methods)
+        server.start()
+        return server
+
+    def test_get_roundtrip(self, network, scheduler):
+        self._serve(network, lambda request: HttpResponse.ok_text("pong"))
+        client = HttpClient(network.host("client"))
+        response = client.get("http://server:8080/test")
+        assert response.ok
+        assert response.body == "pong"
+
+    def test_post_body_reaches_handler(self, network, scheduler):
+        seen = []
+
+        def handler(request):
+            seen.append(request.body)
+            return HttpResponse.ok_text("ack")
+
+        self._serve(network, handler)
+        client = HttpClient(network.host("client"))
+        client.post("http://server:8080/test", "payload")
+        assert seen == ["payload"]
+
+    def test_unknown_route_is_404(self, network, scheduler):
+        self._serve(network, lambda request: HttpResponse.ok_text("x"))
+        client = HttpClient(network.host("client"))
+        assert client.get("http://server:8080/other").status == 404
+
+    def test_query_string_ignored_for_matching(self, network, scheduler):
+        self._serve(network, lambda request: HttpResponse.ok_text("wsdl here"))
+        client = HttpClient(network.host("client"))
+        assert client.get("http://server:8080/test?wsdl").body == "wsdl here"
+
+    def test_prefix_route(self, network, scheduler):
+        server = HttpServer(network.host("server"), 8080)
+        server.add_route("/docs/", lambda request: HttpResponse.ok_text(request.path), prefix=True)
+        server.start()
+        client = HttpClient(network.host("client"))
+        assert client.get("http://server:8080/docs/a/b").body == "/docs/a/b"
+
+    def test_handler_exception_becomes_500(self, network, scheduler):
+        def handler(request):
+            raise RuntimeError("handler blew up")
+
+        self._serve(network, handler)
+        client = HttpClient(network.host("client"))
+        response = client.get("http://server:8080/test")
+        assert response.status == 500
+        assert "handler blew up" in response.body
+
+    def test_delayed_response_advances_clock(self, network, scheduler):
+        self._serve(network, lambda request: (HttpResponse.ok_text("slow"), 0.5))
+        client = HttpClient(network.host("client"))
+        start = scheduler.now
+        client.get("http://server:8080/test")
+        assert scheduler.now - start >= 0.5
+
+    def test_deferred_response(self, network, scheduler):
+        deferred_holder = []
+
+        def handler(request):
+            deferred = DeferredHttpResponse()
+            deferred_holder.append(deferred)
+            return deferred
+
+        self._serve(network, handler)
+        scheduler.schedule(
+            2.0, lambda: deferred_holder[0].complete(HttpResponse.ok_text("late"))
+        )
+        client = HttpClient(network.host("client"))
+        response = client.get("http://server:8080/test")
+        assert response.body == "late"
+        assert scheduler.now >= 2.0
+
+    def test_deferred_double_completion_rejected(self):
+        deferred = DeferredHttpResponse()
+        deferred.complete(HttpResponse.ok_text("one"))
+        with pytest.raises(Exception):
+            deferred.complete(HttpResponse.ok_text("two"))
+
+    def test_stopped_server_refuses_connections(self, network, scheduler):
+        server = self._serve(network, lambda request: HttpResponse.ok_text("x"))
+        server.stop()
+        client = HttpClient(network.host("client"))
+        with pytest.raises(Exception):
+            client.get("http://server:8080/test")
+
+    def test_multiple_sequential_requests(self, network, scheduler):
+        counter = {"n": 0}
+
+        def handler(request):
+            counter["n"] += 1
+            return HttpResponse.ok_text(str(counter["n"]))
+
+        self._serve(network, handler)
+        client = HttpClient(network.host("client"))
+        bodies = [client.get("http://server:8080/test").body for _ in range(3)]
+        assert bodies == ["1", "2", "3"]
+        assert client.requests_sent == 3
+        assert client.responses_received == 3
+
+    def test_requests_served_counter(self, network, scheduler):
+        server = self._serve(network, lambda request: HttpResponse.ok_text("x"))
+        client = HttpClient(network.host("client"))
+        client.get("http://server:8080/test")
+        client.get("http://server:8080/missing")
+        assert server.requests_served == 2
+
+
+class TestUrlParsing:
+    def test_parse_url_with_port_and_path(self):
+        address, path = HttpClient.parse_url("http://server:8080/a/b?c=1")
+        assert address.host == "server"
+        assert address.port == 8080
+        assert path == "/a/b?c=1"
+
+    def test_parse_url_default_port(self):
+        address, path = HttpClient.parse_url("http://server/x")
+        assert address.port == 80
+
+    def test_parse_url_without_path(self):
+        address, path = HttpClient.parse_url("http://server:99")
+        assert path == "/"
+
+    @pytest.mark.parametrize("url", ["ftp://server/x", "http://:80/x", "http://server:abc/x"])
+    def test_malformed_urls_rejected(self, url):
+        with pytest.raises(HttpError):
+            HttpClient.parse_url(url)

@@ -1,0 +1,63 @@
+"""Tests for the completion latch used to express blocking operations."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim import CompletionLatch, Scheduler
+
+
+class TestCompletionLatch:
+    def test_wait_returns_completed_value(self, scheduler: Scheduler):
+        latch = CompletionLatch(scheduler, "test op")
+        scheduler.schedule(1.0, lambda: latch.complete(42))
+        assert latch.wait() == 42
+        assert scheduler.now == 1.0
+
+    def test_wait_raises_failure(self, scheduler: Scheduler):
+        latch = CompletionLatch(scheduler, "test op")
+        scheduler.schedule(1.0, lambda: latch.fail(RuntimeError("broken")))
+        with pytest.raises(RuntimeError, match="broken"):
+            latch.wait()
+
+    def test_wait_deadlocks_when_nothing_completes_it(self, scheduler: Scheduler):
+        latch = CompletionLatch(scheduler, "orphan")
+        with pytest.raises(DeadlockError):
+            latch.wait()
+
+    def test_double_completion_rejected(self, scheduler: Scheduler):
+        latch = CompletionLatch(scheduler)
+        latch.complete(1)
+        with pytest.raises(SimulationError):
+            latch.complete(2)
+        with pytest.raises(SimulationError):
+            latch.fail(RuntimeError())
+
+    def test_peek_before_completion_raises(self, scheduler: Scheduler):
+        latch = CompletionLatch(scheduler)
+        with pytest.raises(SimulationError):
+            latch.peek()
+
+    def test_peek_after_completion(self, scheduler: Scheduler):
+        latch = CompletionLatch(scheduler)
+        latch.complete("done")
+        assert latch.peek() == "done"
+
+    def test_completed_flag(self, scheduler: Scheduler):
+        latch = CompletionLatch(scheduler)
+        assert not latch.completed
+        latch.complete(None)
+        assert latch.completed
+
+    def test_nested_latches(self, scheduler: Scheduler):
+        """A blocking operation may itself perform a blocking operation."""
+        outer = CompletionLatch(scheduler, "outer")
+        inner = CompletionLatch(scheduler, "inner")
+
+        def start_inner():
+            scheduler.schedule(1.0, lambda: inner.complete("inner-done"))
+            result = inner.wait()
+            outer.complete(f"outer saw {result}")
+
+        scheduler.schedule(1.0, start_inner)
+        assert outer.wait() == "outer saw inner-done"
+        assert scheduler.now == 2.0

@@ -1,0 +1,103 @@
+"""Tests for SOAP envelopes and faults."""
+
+import pytest
+
+from repro.errors import SoapError
+from repro.rmitypes import ArrayType, FieldDef, INT, STRING, StructType, TypeRegistry
+from repro.soap.envelope import SoapRequest, SoapResponse
+from repro.soap.faults import FaultCodes, SoapFault
+
+ADDRESS = StructType("Address", (FieldDef("street", STRING), FieldDef("number", INT)))
+
+
+class TestSoapRequest:
+    def test_roundtrip_simple_call(self):
+        request = SoapRequest.for_call("add", (2, 3), namespace="urn:calc")
+        parsed = SoapRequest.from_xml(request.to_xml())
+        assert parsed.operation == "add"
+        assert parsed.arguments == (2, 3)
+        assert parsed.namespace == "urn:calc"
+
+    def test_roundtrip_mixed_arguments(self):
+        registry = TypeRegistry((ADDRESS,))
+        request = SoapRequest.for_call(
+            "register",
+            ("alice", 30, True, [1, 2], {"street": "Main", "number": 1}),
+            registry=registry,
+        )
+        parsed = SoapRequest.from_xml(request.to_xml(), registry)
+        assert parsed.arguments == ("alice", 30, True, [1, 2], {"street": "Main", "number": 1})
+
+    def test_zero_argument_call(self):
+        request = SoapRequest.for_call("ping", ())
+        parsed = SoapRequest.from_xml(request.to_xml())
+        assert parsed.operation == "ping"
+        assert parsed.arguments == ()
+
+    def test_argument_type_count_mismatch_rejected(self):
+        with pytest.raises(SoapError):
+            SoapRequest("add", (1, 2), argument_types=(INT,))
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(SoapError):
+            SoapRequest.from_xml("<not-soap/>")
+
+    def test_truncated_document_rejected(self):
+        request = SoapRequest.for_call("add", (1, 2)).to_xml()
+        with pytest.raises(SoapError):
+            SoapRequest.from_xml(request[: len(request) // 2])
+
+    def test_body_with_fault_rejected_as_request(self):
+        response = SoapResponse.for_fault("x", SoapFault.malformed_request())
+        with pytest.raises(SoapError):
+            SoapRequest.from_xml(response.to_xml())
+
+
+class TestSoapResponse:
+    def test_roundtrip_result(self):
+        response = SoapResponse.for_result("add", 5, INT, namespace="urn:calc")
+        parsed = SoapResponse.from_xml(response.to_xml())
+        assert not parsed.is_fault
+        assert parsed.operation == "add"
+        assert parsed.return_value == 5
+
+    def test_roundtrip_array_result(self):
+        response = SoapResponse.for_result("list", ["a", "b"], ArrayType(STRING))
+        parsed = SoapResponse.from_xml(response.to_xml())
+        assert parsed.return_value == ["a", "b"]
+
+    def test_roundtrip_fault(self):
+        fault = SoapFault.non_existent_method("add", 7)
+        parsed = SoapResponse.from_xml(SoapResponse.for_fault("add", fault).to_xml())
+        assert parsed.is_fault
+        assert parsed.fault.is_non_existent_method
+        assert "publishedVersion=7" in parsed.fault.detail
+
+    def test_malformed_response_rejected(self):
+        with pytest.raises(SoapError):
+            SoapResponse.from_xml("<garbage/>")
+
+
+class TestSoapFault:
+    def test_factories_set_expected_codes(self):
+        assert SoapFault.server_not_initialized().fault_code == FaultCodes.SERVER
+        assert SoapFault.malformed_request("x").fault_code == FaultCodes.CLIENT
+        assert SoapFault.non_existent_method("op").fault_code == FaultCodes.CLIENT
+
+    def test_classification_properties(self):
+        assert SoapFault.server_not_initialized().is_server_not_initialized
+        assert SoapFault.malformed_request().is_malformed_request
+        assert SoapFault.non_existent_method("op").is_non_existent_method
+        assert not SoapFault.non_existent_method("op").is_malformed_request
+
+    def test_application_fault_carries_exception_text(self):
+        fault = SoapFault.application_fault(ValueError("division by zero"))
+        assert "ValueError" in fault.detail
+        assert "division by zero" in fault.detail
+
+    def test_element_roundtrip(self):
+        fault = SoapFault.non_existent_method("add", 3)
+        assert SoapFault.from_element(fault.to_element()) == fault
+
+    def test_str_includes_detail(self):
+        assert "operation=add" in str(SoapFault.non_existent_method("add"))

@@ -1,0 +1,159 @@
+"""Tests for the static SOAP server/client baseline (the "Axis" stack)."""
+
+import pytest
+
+from repro.errors import SoapError, SoapFaultError
+from repro.interface import OperationSignature, Parameter
+from repro.net import Network, t1_lan_profile
+from repro.net.latency import era_2004_cost_model
+from repro.rmitypes import DOUBLE, FieldDef, INT, STRING, StructType
+from repro.sim import Scheduler
+from repro.soap import SoapClient, SoapServiceDefinition, StaticSoapServer
+
+POINT = StructType("Point", (FieldDef("x", DOUBLE), FieldDef("y", DOUBLE)))
+
+
+def build_world(cost_model=None, latency=None):
+    scheduler = Scheduler()
+    network = Network(scheduler, latency or t1_lan_profile())
+    server_host = network.add_host("server")
+    client_host = network.add_host("client")
+
+    definition = SoapServiceDefinition("Calculator", "urn:calc")
+    definition.structs.append(POINT)
+    definition.add_operation(
+        OperationSignature("add", (Parameter("a", INT), Parameter("b", INT)), INT),
+        lambda a, b: a + b,
+    )
+    definition.add_operation(
+        OperationSignature("norm", (Parameter("p", POINT),), DOUBLE),
+        lambda p: (p["x"] ** 2 + p["y"] ** 2) ** 0.5,
+    )
+    definition.add_operation(
+        OperationSignature("fail", (Parameter("reason", STRING),), STRING),
+        lambda reason: (_ for _ in ()).throw(RuntimeError(reason)),
+    )
+    server = StaticSoapServer(server_host, 8080, definition, cost_model=cost_model)
+    server.start()
+    client = SoapClient(client_host, cost_model=cost_model)
+    return scheduler, server, client
+
+
+class TestServiceDefinition:
+    def test_duplicate_operation_rejected(self):
+        definition = SoapServiceDefinition("X", "urn:x")
+        signature = OperationSignature("op", (), INT)
+        definition.add_operation(signature, lambda: 1)
+        with pytest.raises(SoapError):
+            definition.add_operation(signature, lambda: 2)
+
+    def test_lookup_helpers(self):
+        definition = SoapServiceDefinition("X", "urn:x")
+        signature = OperationSignature("op", (), INT)
+        definition.add_operation(signature, lambda: 1)
+        assert definition.signature("op") == signature
+        assert definition.implementation("op")() == 1
+        assert definition.signature("missing") is None
+
+
+class TestStaticRoundTrips:
+    def test_wsdl_served_over_http(self):
+        _scheduler, server, client = build_world()
+        document = client.fetch_wsdl(server.wsdl_url)
+        assert "Calculator" in document
+        assert server.endpoint_url in document
+
+    def test_connect_and_call(self):
+        _scheduler, server, client = build_world()
+        stub = client.connect(server.wsdl_url)
+        assert stub.add(2, 3) == 5
+        assert server.calls_served == 1
+
+    def test_struct_argument(self):
+        _scheduler, server, client = build_world()
+        stub = client.connect(server.wsdl_url)
+        assert stub.norm({"x": 3.0, "y": 4.0}) == pytest.approx(5.0)
+
+    def test_invoke_by_name(self):
+        _scheduler, server, client = build_world()
+        client.connect(server.wsdl_url)
+        assert client.invoke("add", 10, 20) == 30
+
+    def test_application_exception_becomes_fault(self):
+        _scheduler, server, client = build_world()
+        client.connect(server.wsdl_url)
+        with pytest.raises(SoapFaultError) as excinfo:
+            client.invoke("fail", "kaput")
+        assert "kaput" in str(excinfo.value)
+        assert server.faults_returned == 1
+
+    def test_unknown_operation_fault(self):
+        _scheduler, server, client = build_world()
+        client.connect(server.wsdl_url)
+        from repro.soap.envelope import SoapRequest
+
+        response = client.call_raw(SoapRequest.for_call("subtract", (1, 2), namespace="urn:calc"))
+        assert response.is_fault
+        assert response.fault.is_non_existent_method
+
+    def test_call_before_connect_rejected(self):
+        _scheduler, _server, client = build_world()
+        with pytest.raises(SoapError):
+            client.invoke("add", 1, 2)
+
+    def test_refresh_rebuilds_stub(self):
+        _scheduler, server, client = build_world()
+        first = client.connect(server.wsdl_url)
+        second = client.refresh(server.wsdl_url)
+        assert first is not second
+        assert set(second.operation_names) == set(first.operation_names)
+
+    def test_stopped_server_unreachable(self):
+        _scheduler, server, client = build_world()
+        client.connect(server.wsdl_url)
+        server.stop()
+        with pytest.raises(Exception):
+            client.invoke("add", 1, 2)
+
+
+class TestCostAccounting:
+    def test_cost_model_increases_rtt(self):
+        scheduler_fast, server_fast, client_fast = build_world(cost_model=None)
+        stub_fast = client_fast.connect(server_fast.wsdl_url)
+        start = scheduler_fast.now
+        stub_fast.add(1, 2)
+        fast_rtt = scheduler_fast.now - start
+
+        scheduler_slow, server_slow, client_slow = build_world(cost_model=era_2004_cost_model())
+        stub_slow = client_slow.connect(server_slow.wsdl_url)
+        start = scheduler_slow.now
+        stub_slow.add(1, 2)
+        slow_rtt = scheduler_slow.now - start
+
+        assert slow_rtt > fast_rtt
+
+    def test_client_speed_factor_scales_cost(self):
+        cost = era_2004_cost_model()
+        scheduler = Scheduler()
+        network = Network(scheduler, t1_lan_profile())
+        server_host = network.add_host("server")
+        client_a = network.add_host("client")
+        definition = SoapServiceDefinition("Echo", "urn:echo")
+        definition.add_operation(
+            OperationSignature("echo", (Parameter("m", STRING),), STRING), lambda m: m
+        )
+        server = StaticSoapServer(server_host, 8080, definition, cost_model=cost)
+        server.start()
+
+        slow_client = SoapClient(client_a, cost_model=cost, speed_factor=4.0)
+        stub = slow_client.connect(server.wsdl_url)
+        start = scheduler.now
+        stub.echo("hi")
+        slow_rtt = scheduler.now - start
+
+        fast_client = SoapClient(client_a, cost_model=cost, speed_factor=1.0)
+        stub = fast_client.connect(server.wsdl_url)
+        start = scheduler.now
+        stub.echo("hi")
+        fast_rtt = scheduler.now - start
+        assert slow_rtt > fast_rtt

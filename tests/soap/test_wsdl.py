@@ -1,0 +1,146 @@
+"""Tests for WSDL generation, parsing and stub compilation."""
+
+import pytest
+
+from repro.errors import SoapError, WsdlError
+from repro.interface import InterfaceDescription, OperationSignature, Parameter
+from repro.rmitypes import ArrayType, DOUBLE, FieldDef, INT, STRING, StructType, VOID
+from repro.soap.envelope import SoapResponse
+from repro.soap.wsdl import WsdlCompiler, generate_wsdl, parse_wsdl
+from repro.soap.wsdl.compiler import CompiledStub
+
+
+POINT = StructType("Point", (FieldDef("x", DOUBLE), FieldDef("y", DOUBLE)))
+SEGMENT = StructType("Segment", (FieldDef("start", POINT), FieldDef("end", POINT)))
+
+
+def build_description():
+    operations = [
+        OperationSignature("add", (Parameter("a", INT), Parameter("b", INT)), INT),
+        OperationSignature("greet", (Parameter("name", STRING),), STRING),
+        OperationSignature("norm", (Parameter("p", POINT),), DOUBLE),
+        OperationSignature("tags", (), ArrayType(STRING)),
+        OperationSignature("reset", ()),
+    ]
+    return InterfaceDescription(
+        service_name="Calculator",
+        namespace="urn:calc",
+        endpoint_url="http://server:8080/services/Calculator",
+        version=4,
+    ).with_operations(operations, [POINT, SEGMENT])
+
+
+class TestGeneration:
+    def test_document_structure(self):
+        document = generate_wsdl(build_description())
+        for fragment in ("definitions", "portType", "binding", "service", "soap/http", "complexType"):
+            assert fragment in document
+        assert "http://server:8080/services/Calculator" in document
+
+    def test_minimal_document_has_endpoint_but_no_operations(self):
+        minimal = InterfaceDescription.minimal("Svc", "urn:x", "http://server:1/ep")
+        document = generate_wsdl(minimal)
+        parsed = parse_wsdl(document)
+        assert parsed.operations == ()
+        assert parsed.endpoint_url == "http://server:1/ep"
+
+    def test_deterministic_output(self):
+        assert generate_wsdl(build_description()) == generate_wsdl(build_description())
+
+    def test_pretty_output_parses_identically(self):
+        description = build_description()
+        assert parse_wsdl(generate_wsdl(description, pretty=True)).same_signature(
+            parse_wsdl(generate_wsdl(description))
+        )
+
+
+class TestParsing:
+    def test_full_roundtrip_preserves_signature(self):
+        description = build_description()
+        parsed = parse_wsdl(generate_wsdl(description))
+        assert parsed.same_signature(description)
+        assert parsed.version == description.version
+
+    def test_roundtrip_preserves_types(self):
+        parsed = parse_wsdl(generate_wsdl(build_description()))
+        assert parsed.operation("norm").parameters[0].param_type.type_name == "Point"
+        assert parsed.operation("tags").return_type == ArrayType(STRING)
+        assert parsed.operation("reset").return_type == VOID
+
+    def test_nested_struct_fields_resolved(self):
+        parsed = parse_wsdl(generate_wsdl(build_description()))
+        segment = parsed.type_registry().get("Segment")
+        assert segment.fields[0].field_type.type_name == "Point"
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(WsdlError):
+            parse_wsdl("<not-wsdl/>")
+        with pytest.raises(WsdlError):
+            parse_wsdl("definitely not xml <<")
+
+    def test_missing_required_attributes_rejected(self):
+        with pytest.raises(WsdlError):
+            parse_wsdl('<?xml version="1.0"?><wsdl:definitions xmlns:wsdl="http://schemas.xmlsoap.org/wsdl/"/>')
+
+
+class TestStubCompilation:
+    def _transport_recording(self, result_value=5, return_type=INT):
+        calls = []
+
+        def transport(request):
+            calls.append(request)
+            return SoapResponse.for_result(request.operation, result_value, return_type)
+
+        return calls, transport
+
+    def test_stub_exposes_operations(self):
+        calls, transport = self._transport_recording()
+        stub = CompiledStub(build_description(), transport)
+        assert set(stub.operation_names) == {"add", "greet", "norm", "tags", "reset"}
+
+    def test_attribute_style_invocation(self):
+        calls, transport = self._transport_recording()
+        stub = CompiledStub(build_description(), transport)
+        assert stub.add(2, 3) == 5
+        assert calls[0].operation == "add"
+        assert calls[0].arguments == (2, 3)
+
+    def test_invoke_by_name(self):
+        calls, transport = self._transport_recording("hi", STRING)
+        stub = CompiledStub(build_description(), transport)
+        assert stub.invoke("greet", "bob") == "hi"
+
+    def test_arity_checked_before_transport(self):
+        calls, transport = self._transport_recording()
+        stub = CompiledStub(build_description(), transport)
+        with pytest.raises(SoapError):
+            stub.add(1)
+        assert calls == []
+
+    def test_argument_types_checked(self):
+        calls, transport = self._transport_recording()
+        stub = CompiledStub(build_description(), transport)
+        with pytest.raises(Exception):
+            stub.add("one", 2)
+        assert calls == []
+
+    def test_unknown_operation_raises(self):
+        _calls, transport = self._transport_recording()
+        stub = CompiledStub(build_description(), transport)
+        with pytest.raises(SoapError):
+            stub.invoke("subtract", 1, 2)
+        with pytest.raises(AttributeError):
+            stub.subtract
+
+    def test_call_count_tracked(self):
+        _calls, transport = self._transport_recording()
+        stub = CompiledStub(build_description(), transport)
+        stub.add(1, 2)
+        stub.add(3, 4)
+        assert stub.method("add").call_count == 2
+
+    def test_compiler_counts_compilations(self):
+        compiler = WsdlCompiler(lambda description: self._transport_recording()[1])
+        compiler.compile(build_description())
+        compiler.compile(build_description())
+        assert compiler.compilations == 2

@@ -1,0 +1,208 @@
+"""Tests for the shared RMI type model."""
+
+import pytest
+
+from repro.rmitypes import (
+    ArrayType,
+    BOOLEAN,
+    CHAR,
+    DOUBLE,
+    FieldDef,
+    FLOAT,
+    INT,
+    PRIMITIVES,
+    PrimitiveType,
+    STRING,
+    StructType,
+    TypeError_,
+    TypeRegistry,
+    VOID,
+    infer_type,
+    parse_type,
+    python_default,
+)
+
+
+ADDRESS = StructType("Address", (FieldDef("street", STRING), FieldDef("number", INT)))
+
+
+class TestPrimitiveValidation:
+    def test_int_accepts_int(self):
+        INT.validate(42)
+
+    def test_int_rejects_bool_and_float(self):
+        with pytest.raises(TypeError_):
+            INT.validate(True)
+        with pytest.raises(TypeError_):
+            INT.validate(1.5)
+
+    def test_double_accepts_int_and_float(self):
+        DOUBLE.validate(1)
+        DOUBLE.validate(1.5)
+        FLOAT.validate(2.5)
+
+    def test_double_rejects_bool_and_string(self):
+        with pytest.raises(TypeError_):
+            DOUBLE.validate(True)
+        with pytest.raises(TypeError_):
+            DOUBLE.validate("1.5")
+
+    def test_boolean(self):
+        BOOLEAN.validate(True)
+        with pytest.raises(TypeError_):
+            BOOLEAN.validate(1)
+
+    def test_string(self):
+        STRING.validate("hello")
+        with pytest.raises(TypeError_):
+            STRING.validate(5)
+
+    def test_char_requires_single_character(self):
+        CHAR.validate("x")
+        with pytest.raises(TypeError_):
+            CHAR.validate("xy")
+        with pytest.raises(TypeError_):
+            CHAR.validate("")
+
+    def test_void_only_accepts_none(self):
+        VOID.validate(None)
+        with pytest.raises(TypeError_):
+            VOID.validate(0)
+
+    def test_unknown_primitive_rejected(self):
+        with pytest.raises(TypeError_):
+            PrimitiveType("short")
+
+    def test_primitive_names(self):
+        assert set(PRIMITIVES) == {"int", "double", "float", "boolean", "string", "char", "void"}
+
+
+class TestArrayType:
+    def test_validates_elements(self):
+        ArrayType(INT).validate([1, 2, 3])
+        with pytest.raises(TypeError_):
+            ArrayType(INT).validate([1, "two"])
+
+    def test_rejects_non_sequence(self):
+        with pytest.raises(TypeError_):
+            ArrayType(INT).validate(5)
+
+    def test_nested_arrays(self):
+        nested = ArrayType(ArrayType(STRING))
+        nested.validate([["a"], ["b", "c"]])
+        assert nested.type_name == "string[][]"
+
+    def test_empty_sequence_valid(self):
+        ArrayType(INT).validate([])
+
+
+class TestStructType:
+    def test_validates_fields(self):
+        ADDRESS.validate({"street": "Main", "number": 5})
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(TypeError_):
+            ADDRESS.validate({"street": "Main"})
+
+    def test_extra_field_rejected(self):
+        with pytest.raises(TypeError_):
+            ADDRESS.validate({"street": "Main", "number": 5, "zip": "63130"})
+
+    def test_field_type_checked(self):
+        with pytest.raises(TypeError_):
+            ADDRESS.validate({"street": "Main", "number": "five"})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(TypeError_):
+            ADDRESS.validate(["Main", 5])
+
+    def test_duplicate_field_names_rejected(self):
+        with pytest.raises(TypeError_):
+            StructType("Bad", (FieldDef("x", INT), FieldDef("x", INT)))
+
+    def test_field_names_order_preserved(self):
+        assert ADDRESS.field_names() == ("street", "number")
+
+    def test_nested_struct(self):
+        person = StructType("Person", (FieldDef("name", STRING), FieldDef("home", ADDRESS)))
+        person.validate({"name": "a", "home": {"street": "Main", "number": 1}})
+
+
+class TestTypeRegistry:
+    def test_register_and_get(self):
+        registry = TypeRegistry()
+        registry.register(ADDRESS)
+        assert registry.get("Address") is ADDRESS
+        assert "Address" in registry
+
+    def test_identical_reregistration_allowed(self):
+        registry = TypeRegistry((ADDRESS,))
+        registry.register(StructType("Address", (FieldDef("street", STRING), FieldDef("number", INT))))
+
+    def test_conflicting_redefinition_rejected(self):
+        registry = TypeRegistry((ADDRESS,))
+        with pytest.raises(TypeError_):
+            registry.register(StructType("Address", (FieldDef("street", STRING),)))
+
+    def test_unknown_lookup_rejected(self):
+        with pytest.raises(TypeError_):
+            TypeRegistry().get("Nope")
+
+    def test_structs_sorted_by_name(self):
+        b = StructType("Beta")
+        a = StructType("Alpha")
+        registry = TypeRegistry((b, a))
+        assert [s.name for s in registry.structs] == ["Alpha", "Beta"]
+
+    def test_copy_is_independent(self):
+        registry = TypeRegistry((ADDRESS,))
+        copy = registry.copy()
+        copy.register(StructType("Other"))
+        assert "Other" not in registry
+
+
+class TestParseType:
+    @pytest.mark.parametrize("name,expected", [
+        ("int", INT), ("double", DOUBLE), ("string", STRING), ("void", VOID),
+    ])
+    def test_primitives(self, name, expected):
+        assert parse_type(name) == expected
+
+    def test_array_suffix(self):
+        assert parse_type("int[]") == ArrayType(INT)
+        assert parse_type("string[][]") == ArrayType(ArrayType(STRING))
+
+    def test_struct_lookup(self):
+        assert parse_type("Address", TypeRegistry((ADDRESS,))) == ADDRESS
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError_):
+            parse_type("Mystery")
+
+
+class TestDefaultsAndInference:
+    def test_python_defaults(self):
+        assert python_default(INT) == 0
+        assert python_default(STRING) == ""
+        assert python_default(BOOLEAN) is False
+        assert python_default(ArrayType(INT)) == []
+        assert python_default(ADDRESS) == {"street": "", "number": 0}
+
+    def test_infer_primitives(self):
+        assert infer_type(5) == INT
+        assert infer_type(1.5) == DOUBLE
+        assert infer_type(True) == BOOLEAN
+        assert infer_type("x") == STRING
+        assert infer_type(None) == VOID
+
+    def test_infer_sequences(self):
+        assert infer_type([1, 2]) == ArrayType(INT)
+        assert infer_type([]) == ArrayType(STRING)
+
+    def test_infer_struct_with_registry(self):
+        registry = TypeRegistry((ADDRESS,))
+        assert infer_type({"street": "Main", "number": 3}, registry) == ADDRESS
+
+    def test_infer_unknown_dict_rejected(self):
+        with pytest.raises(TypeError_):
+            infer_type({"mystery": 1})

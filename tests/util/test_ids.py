@@ -1,0 +1,48 @@
+"""Tests for deterministic identifier generation."""
+
+from repro.util.ids import IdGenerator, fresh_id, reset_global_ids
+
+
+class TestIdGenerator:
+    def test_sequential_ids_per_prefix(self):
+        gen = IdGenerator()
+        assert gen.next("request") == "request-1"
+        assert gen.next("request") == "request-2"
+        assert gen.next("request") == "request-3"
+
+    def test_independent_prefixes(self):
+        gen = IdGenerator()
+        gen.next("request")
+        assert gen.next("timer") == "timer-1"
+        assert gen.next("request") == "request-2"
+
+    def test_peek_reports_issued_count_without_consuming(self):
+        gen = IdGenerator()
+        gen.next("msg")
+        gen.next("msg")
+        assert gen.peek("msg") == 2
+        assert gen.next("msg") == "msg-3"
+
+    def test_peek_on_unused_prefix_is_zero(self):
+        gen = IdGenerator()
+        assert gen.peek("nothing") == 0
+
+    def test_reset_clears_counters(self):
+        gen = IdGenerator()
+        gen.next("a")
+        gen.reset()
+        assert gen.next("a") == "a-1"
+
+
+class TestGlobalGenerator:
+    def test_fresh_id_uses_shared_counter(self):
+        reset_global_ids()
+        first = fresh_id("global")
+        second = fresh_id("global")
+        assert first == "global-1"
+        assert second == "global-2"
+
+    def test_reset_global_ids(self):
+        fresh_id("x")
+        reset_global_ids()
+        assert fresh_id("x") == "x-1"

@@ -1,0 +1,62 @@
+"""Tests for the deterministic random source."""
+
+from repro.util.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = DeterministicRng(7)
+        b = DeterministicRng(7)
+        assert [a.randint(0, 100) for _ in range(10)] == [b.randint(0, 100) for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.randint(0, 10_000) for _ in range(5)] != [b.randint(0, 10_000) for _ in range(5)]
+
+    def test_fork_is_deterministic_and_independent(self):
+        a = DeterministicRng(3).fork("latency")
+        b = DeterministicRng(3).fork("latency")
+        c = DeterministicRng(3).fork("workload")
+        seq_a = [a.uniform(0, 1) for _ in range(5)]
+        seq_b = [b.uniform(0, 1) for _ in range(5)]
+        seq_c = [c.uniform(0, 1) for _ in range(5)]
+        assert seq_a == seq_b
+        assert seq_a != seq_c
+
+
+class TestDistributions:
+    def test_uniform_bounds(self):
+        rng = DeterministicRng(0)
+        for _ in range(100):
+            value = rng.uniform(2.0, 3.0)
+            assert 2.0 <= value <= 3.0
+
+    def test_randint_bounds(self):
+        rng = DeterministicRng(0)
+        values = {rng.randint(1, 3) for _ in range(200)}
+        assert values == {1, 2, 3}
+
+    def test_choice_and_sample(self):
+        rng = DeterministicRng(0)
+        items = ["a", "b", "c", "d"]
+        assert rng.choice(items) in items
+        sample = rng.sample(items, 2)
+        assert len(sample) == 2
+        assert set(sample) <= set(items)
+
+    def test_shuffle_returns_new_permutation(self):
+        rng = DeterministicRng(0)
+        items = list(range(10))
+        shuffled = rng.shuffle(items)
+        assert sorted(shuffled) == items
+        assert items == list(range(10))  # original untouched
+
+    def test_expovariate_positive(self):
+        rng = DeterministicRng(0)
+        assert all(rng.expovariate(2.0) >= 0 for _ in range(50))
+
+    def test_gauss_reasonable(self):
+        rng = DeterministicRng(0)
+        values = [rng.gauss(10.0, 0.001) for _ in range(50)]
+        assert all(9.9 < v < 10.1 for v in values)

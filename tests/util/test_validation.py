@@ -1,0 +1,67 @@
+"""Tests for the argument-validation helpers."""
+
+import pytest
+
+from repro.util.validation import (
+    require,
+    require_identifier,
+    require_non_negative,
+    require_positive,
+    require_type,
+)
+
+
+class TestRequire:
+    def test_passes_when_true(self):
+        require(True, "should not raise")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+
+class TestRequireType:
+    def test_accepts_matching_type(self):
+        require_type(5, int, "value")
+        require_type("x", (int, str), "value")
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError, match="value must be int"):
+            require_type("5", int, "value")
+
+    def test_error_mentions_alternatives(self):
+        with pytest.raises(TypeError, match="int or str"):
+            require_type(1.5, (int, str), "value")
+
+
+class TestNumericChecks:
+    def test_positive_accepts_positive(self):
+        require_positive(0.001, "delay")
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_positive_rejects_non_positive(self, value):
+        with pytest.raises(ValueError):
+            require_positive(value, "delay")
+
+    def test_non_negative_accepts_zero(self):
+        require_non_negative(0, "count")
+
+    def test_non_negative_rejects_negative(self):
+        with pytest.raises(ValueError):
+            require_non_negative(-0.1, "count")
+
+
+class TestRequireIdentifier:
+    @pytest.mark.parametrize("name", ["x", "add", "operation_12", "_private", "CamelCase"])
+    def test_accepts_legal_identifiers(self, name):
+        require_identifier(name, "name")
+
+    @pytest.mark.parametrize("name", ["", "1abc", "has space", "has-dash", "dot.ted", None, 42])
+    def test_rejects_illegal_identifiers(self, name):
+        with pytest.raises(ValueError):
+            require_identifier(name, "name")
+
+    @pytest.mark.parametrize("name", ["class", "return", "def", "lambda"])
+    def test_rejects_keywords(self, name):
+        with pytest.raises(ValueError, match="reserved keyword"):
+            require_identifier(name, "name")

@@ -1,0 +1,126 @@
+"""Tests for the XML utilities (QNames, elements, serialiser, parser)."""
+
+import pytest
+
+from repro.errors import XmlError
+from repro.xmlutil import Namespaces, QName, XmlElement, parse, serialize, serialize_pretty
+
+
+class TestQName:
+    def test_clark_notation_roundtrip(self):
+        qname = QName("http://example.org/ns", "item")
+        assert qname.clark() == "{http://example.org/ns}item"
+        assert QName.from_clark(qname.clark()) == qname
+
+    def test_plain_name(self):
+        qname = QName.plain("item")
+        assert qname.namespace is None
+        assert qname.clark() == "item"
+
+    def test_from_clark_without_namespace(self):
+        assert QName.from_clark("item") == QName(None, "item")
+
+    @pytest.mark.parametrize("bad", ["", "has:colon", "has space"])
+    def test_invalid_local_names_rejected(self, bad):
+        with pytest.raises(XmlError):
+            QName(None, bad)
+
+    def test_malformed_clark_rejected(self):
+        with pytest.raises(XmlError):
+            QName.from_clark("{unclosed")
+
+
+class TestXmlElement:
+    def test_add_and_find_children(self):
+        root = XmlElement("root")
+        child = root.add("child", {"id": "1"}, text="hello")
+        assert root.find("child") is child
+        assert root.find("missing") is None
+        assert child.attribute("id") == "1"
+
+    def test_find_all(self):
+        root = XmlElement("root")
+        root.add("item")
+        root.add("item")
+        root.add("other")
+        assert len(root.find_all("item")) == 2
+
+    def test_require_raises_when_missing(self):
+        root = XmlElement("root")
+        with pytest.raises(XmlError):
+            root.require("missing")
+
+    def test_iter_is_depth_first(self):
+        root = XmlElement("a")
+        b = root.add("b")
+        b.add("c")
+        root.add("d")
+        names = [element.name.local_name for element in root.iter()]
+        assert names == ["a", "b", "c", "d"]
+
+    def test_structural_equality_ignores_surrounding_whitespace(self):
+        one = XmlElement("a", text=" hello ")
+        two = XmlElement("a", text="hello")
+        assert one.structurally_equal(two)
+
+    def test_structural_inequality_on_attributes(self):
+        one = XmlElement("a", {"x": "1"})
+        two = XmlElement("a", {"x": "2"})
+        assert not one.structurally_equal(two)
+
+    def test_invalid_child_rejected(self):
+        with pytest.raises(XmlError):
+            XmlElement("a").add_child("not an element")
+
+
+class TestSerialisationAndParsing:
+    def test_roundtrip_simple_document(self):
+        root = XmlElement("doc")
+        root.add("child", {"attr": "value"}, text="text")
+        parsed = parse(serialize(root))
+        assert root.structurally_equal(parsed)
+
+    def test_roundtrip_namespaced_document(self):
+        root = XmlElement(QName(Namespaces.SOAP_ENVELOPE, "Envelope"))
+        body = root.add_child(XmlElement(QName(Namespaces.SOAP_ENVELOPE, "Body")))
+        body.add(QName("urn:app", "call"), {"kind": "test"})
+        parsed = parse(serialize(root))
+        assert root.structurally_equal(parsed)
+
+    def test_escaping_of_special_characters(self):
+        root = XmlElement("doc", {"attr": 'quote " and <angle>'}, text="a < b & c > d")
+        parsed = parse(serialize(root))
+        assert parsed.text == "a < b & c > d"
+        assert parsed.attribute("attr") == 'quote " and <angle>'
+
+    def test_well_known_prefixes_used(self):
+        root = XmlElement(QName(Namespaces.WSDL, "definitions"))
+        assert "xmlns:wsdl=" in serialize(root)
+
+    def test_deterministic_output(self):
+        root = XmlElement("doc")
+        root.add("a", {"k": "v"})
+        assert serialize(root) == serialize(root)
+
+    def test_pretty_output_contains_newlines_and_parses(self):
+        root = XmlElement("doc")
+        root.add("child", text="x")
+        pretty = serialize_pretty(root)
+        assert "\n" in pretty
+        assert root.structurally_equal(parse(pretty))
+
+    def test_parse_bytes(self):
+        assert parse(b"<root/>").name.local_name == "root"
+
+    def test_parse_malformed_rejected(self):
+        with pytest.raises(XmlError):
+            parse("<unclosed>")
+
+    def test_parse_invalid_utf8_rejected(self):
+        with pytest.raises(XmlError):
+            parse(b"\xff\xfe<root/>")
+
+    def test_xml_declaration_optional(self):
+        root = XmlElement("doc")
+        assert serialize(root, xml_declaration=False).startswith("<doc")
+        assert serialize(root).startswith("<?xml")
