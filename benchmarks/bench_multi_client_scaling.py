@@ -1,0 +1,114 @@
+"""E8 — Multi-client scale-out over the shared transport layer.
+
+Drives N concurrent CDE-style clients (each its own simulated host with a
+persistent keep-alive connection) against one SDE server for both
+middlewares, scaling the fleet 1 → 64.  The wall-clock time reported by
+pytest-benchmark is the cost of *simulating* the workload; the quantities
+the scaling story cares about — mean/max simulated RTT, simulated
+throughput, §5.7 stall-queue depth — are attached to ``extra_info``.
+
+Also asserts the property every later scaling PR leans on: the workload is
+**deterministic** — two fresh runs of the same ≥32-client configuration
+produce identical per-call RTT sequences for both SOAP and CORBA.
+
+Run with:  pytest benchmarks/bench_multi_client_scaling.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.multi_client import (
+    SCENARIO_STALE_STORM,
+    format_scaling,
+    run_multi_client,
+    run_scaling,
+)
+
+#: Fleet sizes measured for each protocol (the acceptance floor is 32).
+CLIENT_COUNTS = (1, 8, 32, 64)
+CALLS_PER_CLIENT = 5
+
+
+def _record(benchmark, result):
+    benchmark.extra_info["technology"] = result.technology
+    benchmark.extra_info["scenario"] = result.scenario
+    benchmark.extra_info["clients"] = result.clients
+    benchmark.extra_info["mean_simulated_rtt_s"] = round(result.mean_rtt, 5)
+    benchmark.extra_info["max_simulated_rtt_s"] = round(result.max_rtt, 5)
+    benchmark.extra_info["simulated_throughput_calls_per_s"] = round(result.throughput, 1)
+    benchmark.extra_info["max_stall_queue_depth"] = result.max_stall_queue_depth
+
+
+@pytest.mark.benchmark(group="multi-client-scaling")
+@pytest.mark.parametrize("technology", ["soap", "corba"])
+@pytest.mark.parametrize("clients", CLIENT_COUNTS)
+def test_steady_scaling(benchmark, technology, clients):
+    """Steady-state fleet: every call hits a live method."""
+    result = benchmark.pedantic(
+        run_multi_client,
+        args=(technology, clients),
+        kwargs={"calls_per_client": CALLS_PER_CLIENT},
+        rounds=1,
+        iterations=1,
+    )
+    _record(benchmark, result)
+    assert result.total_calls == clients * CALLS_PER_CLIENT
+    assert result.report.total_successes == result.total_calls
+    # One persistent connection per client: keep-alive, not per-call churn.
+    assert result.server_connections == clients
+
+
+@pytest.mark.benchmark(group="multi-client-stall")
+@pytest.mark.parametrize("technology", ["soap", "corba"])
+@pytest.mark.parametrize("clients", (8, 32))
+def test_stale_storm_stall_queue(benchmark, technology, clients):
+    """§5.7 under load: stale calls stall and queue, then drain in order."""
+    result = benchmark.pedantic(
+        run_multi_client,
+        args=(technology, clients),
+        kwargs={"calls_per_client": 6, "scenario": SCENARIO_STALE_STORM},
+        rounds=1,
+        iterations=1,
+    )
+    _record(benchmark, result)
+    assert result.stalled_calls > 0
+    assert result.report.total_stale_faults == result.clients * 2  # every 3rd of 6 calls
+    # The stall queue must actually form under a concurrent fleet.
+    assert result.max_stall_queue_depth >= clients // 4
+
+
+@pytest.mark.benchmark(group="multi-client-determinism")
+@pytest.mark.parametrize("technology", ["soap", "corba"])
+def test_32_clients_deterministic(benchmark, technology):
+    """Two fresh ≥32-client runs produce identical RTT sequences."""
+
+    def run_twice():
+        first = run_multi_client(technology, 32, calls_per_client=CALLS_PER_CLIENT)
+        second = run_multi_client(technology, 32, calls_per_client=CALLS_PER_CLIENT)
+        return first, second
+
+    first, second = benchmark.pedantic(run_twice, rounds=1, iterations=1)
+    _record(benchmark, first)
+    assert first.report.all_rtts == second.report.all_rtts
+    assert first.report.duration == second.report.duration
+
+
+@pytest.mark.benchmark(group="multi-client-scaling")
+def test_full_scaling_table(benchmark):
+    """The whole sweep at once, printing the scaling table."""
+    results = benchmark.pedantic(
+        run_scaling,
+        kwargs={"client_counts": (1, 8, 32), "calls_per_client": 3},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + format_scaling(results))
+    for result in results:
+        key = f"{result.technology}-{result.clients}"
+        benchmark.extra_info[key] = round(result.mean_rtt, 5)
+    # CORBA stays cheaper than SOAP at every fleet size (Table 1's shape
+    # must survive scale-out).
+    by_key = {(r.technology, r.clients): r.mean_rtt for r in results}
+    for clients in (1, 8, 32):
+        assert by_key[("corba", clients)] < by_key[("soap", clients)]

@@ -1,0 +1,118 @@
+"""Run every ``bench_*.py`` and append a trajectory record to BENCH_results.json.
+
+Usage::
+
+    python benchmarks/run_all.py            # run all benchmarks
+    python benchmarks/run_all.py table1     # only files matching the substring
+
+Each invocation appends one record to ``BENCH_results.json`` at the repo
+root, so successive PRs accumulate a performance trajectory: wall-clock
+seconds per benchmark (the cost of simulating each experiment) plus every
+``extra_info`` quantity the benchmarks attach (simulated RTTs, throughput,
+stall-queue depths).  Future PRs diff the latest record against earlier ones
+to spot regressions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+RESULTS_PATH = REPO_ROOT / "BENCH_results.json"
+
+
+def discover(pattern: str | None = None) -> list[Path]:
+    """Every benchmark file, optionally filtered by a name substring."""
+    files = sorted(BENCH_DIR.glob("bench_*.py"))
+    if pattern:
+        files = [path for path in files if pattern in path.name]
+    return files
+
+
+def run_benchmarks(files: list[Path]) -> tuple[int, list[dict]]:
+    """Run ``files`` under pytest-benchmark; return (exit_code, records)."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        json_path = Path(handle.name)
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        *[str(path) for path in files],
+        "--benchmark-only",
+        "-q",
+        f"--benchmark-json={json_path}",
+    ]
+    completed = subprocess.run(command, cwd=REPO_ROOT, env=env)
+    try:
+        payload = json.loads(json_path.read_text())
+    except (OSError, json.JSONDecodeError):
+        payload = {"benchmarks": []}
+    finally:
+        json_path.unlink(missing_ok=True)
+
+    records = [
+        {
+            "name": bench["name"],
+            "group": bench.get("group"),
+            "wall_clock_mean_s": bench["stats"]["mean"],
+            "extra_info": bench.get("extra_info", {}),
+        }
+        for bench in payload.get("benchmarks", [])
+    ]
+    return completed.returncode, records
+
+
+def append_trajectory(records: list[dict], exit_code: int, files: list[Path]) -> dict:
+    """Append one run record to the trajectory file and return it."""
+    if RESULTS_PATH.exists():
+        try:
+            trajectory = json.loads(RESULTS_PATH.read_text())
+        except json.JSONDecodeError:
+            trajectory = {"runs": []}
+    else:
+        trajectory = {"runs": []}
+    trajectory.setdefault("runs", [])
+
+    run_record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "files": [path.name for path in files],
+        "exit_code": exit_code,
+        "benchmarks": records,
+    }
+    trajectory["runs"].append(run_record)
+    RESULTS_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
+    return run_record
+
+
+def main(argv: list[str]) -> int:
+    pattern = argv[1] if len(argv) > 1 else None
+    files = discover(pattern)
+    if not files:
+        print(f"no benchmark files match {pattern!r}", file=sys.stderr)
+        return 2
+    print(f"running {len(files)} benchmark file(s): {', '.join(p.name for p in files)}")
+    exit_code, records = run_benchmarks(files)
+    run_record = append_trajectory(records, exit_code, files)
+    print(
+        f"recorded {len(records)} benchmark(s) to {RESULTS_PATH.name} "
+        f"({len(json.loads(RESULTS_PATH.read_text())['runs'])} run(s) in trajectory)"
+    )
+    for bench in run_record["benchmarks"]:
+        print(f"  {bench['name']}: {bench['wall_clock_mean_s']:.4f}s wall-clock")
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -130,6 +130,11 @@ class StaticCorbaClient:
             raise CorbaError("client is not connected; call connect() first")
         return self.stub.invoke(operation, *arguments)
 
+    def close(self) -> None:
+        """Release the client ORB's and HTTP client's connections."""
+        self.orb.close()
+        self.http_client.close()
+
     def __repr__(self) -> str:
         target = self.description.service_name if self.description else "<disconnected>"
         return f"StaticCorbaClient(host={self.host.name!r}, target={target})"

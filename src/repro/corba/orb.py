@@ -5,11 +5,16 @@ Server ORB form the communication endpoints.  They direct invocations and
 results between remote objects located on client and server sides.  ORBs use
 IIOP to communicate over a network." (§2.2)
 
-The :class:`ServerOrb` listens on a simulated IIOP port, parses GIOP
-Requests, locates the servant through the object adapter and sends back GIOP
-Replies.  The :class:`ClientOrb` turns an IOR into a
+The :class:`ServerOrb` is a GIOP codec over the shared transport layer: a
+:class:`~repro.net.transport.Endpoint` owns the IIOP port, the per-connection
+FIFO reply ordering and the drop-after-stop accounting, while the ORB parses
+GIOP Requests, locates the servant through the object adapter and encodes
+GIOP Replies.  The :class:`ClientOrb` turns an IOR into a
 :class:`RemoteObjectReference` whose :meth:`~RemoteObjectReference.invoke`
-performs a blocking remote call.  CPU cost for marshalling and dispatch is
+performs a blocking remote call over a persistent
+:class:`~repro.net.transport.ClientChannel` connection;
+:meth:`ClientOrb.invoke_async` is the non-blocking variant used by the
+multi-client workload driver.  CPU cost for marshalling and dispatch is
 charged to the virtual clock through the optional
 :class:`~repro.net.latency.CostModel`.
 """
@@ -21,7 +26,6 @@ from typing import Any
 
 from repro.corba.cdr import marshal_values, unmarshal_values
 from repro.corba.giop import (
-    MessageType,
     ReplyMessage,
     ReplyStatus,
     RequestMessage,
@@ -37,55 +41,30 @@ from repro.errors import (
 )
 from repro.net.latency import CostModel
 from repro.net.simnet import Address, Host, Message
-from repro.sim.latch import CompletionLatch
+from repro.net.transport import (
+    ClientChannel,
+    Connection,
+    Deferred,
+    Endpoint,
+    ReplyOutcome,
+)
 
 _EPHEMERAL_BASE = 53000
 
 
-class DeferredResult:
+class DeferredResult(Deferred):
     """A servant result that will be provided later.
 
     A servant (typically a DSI :class:`~repro.corba.dsi.DynamicServant` used
     by SDE) may return an instance of this class from ``invoke`` to stall the
     GIOP reply — for example while the interface publisher catches up with
-    pending changes (§5.7).  Calling :meth:`complete` or :meth:`fail` releases
-    the reply.
+    pending changes (§5.7).  It is a named alias of the transport layer's
+    generic :class:`~repro.net.transport.Deferred`; :class:`ServerOrb`
+    accepts either.
     """
 
     def __init__(self) -> None:
-        self._done = False
-        self._value: Any = None
-        self._error: BaseException | None = None
-        self._callbacks: list[Any] = []
-
-    @property
-    def completed(self) -> bool:
-        """True once a value or error has been provided."""
-        return self._done
-
-    def complete(self, value: Any) -> None:
-        """Provide the operation result."""
-        self._resolve(value, None)
-
-    def fail(self, error: BaseException) -> None:
-        """Provide an exception to be propagated to the client."""
-        self._resolve(None, error)
-
-    def _resolve(self, value: Any, error: BaseException | None) -> None:
-        if self._done:
-            raise CorbaError("deferred CORBA result completed twice")
-        self._done = True
-        self._value = value
-        self._error = error
-        for callback in self._callbacks:
-            callback(value, error)
-        self._callbacks.clear()
-
-    def _on_resolved(self, callback: Any) -> None:
-        if self._done:
-            callback(self._value, self._error)
-        else:
-            self._callbacks.append(callback)
+        super().__init__("deferred CORBA result")
 
 
 class ServerOrb:
@@ -99,6 +78,7 @@ class ServerOrb:
         cost_model: CostModel | None = None,
         speed_factor: float = 1.0,
         dynamic_dispatch_overhead: float = 0.0,
+        charge_connection_setup: bool = False,
     ) -> None:
         self.host = host
         self.port = port
@@ -106,7 +86,13 @@ class ServerOrb:
         self.cost_model = cost_model
         self.speed_factor = speed_factor
         self.dynamic_dispatch_overhead = dynamic_dispatch_overhead
-        self._running = False
+        self.endpoint = Endpoint(
+            host,
+            port,
+            self._on_request,
+            name=f"orb:{host.name}:{port}",
+            charge_connection_setup=charge_connection_setup,
+        )
         self.requests_handled = 0
         self.system_exceptions_sent = 0
         self.user_exceptions_sent = 0
@@ -115,22 +101,21 @@ class ServerOrb:
 
     def start(self) -> None:
         """Bind the IIOP port and begin accepting requests."""
-        if self._running:
-            return
-        self.host.bind(self.port, self._on_message)
-        self._running = True
+        self.endpoint.start()
 
     def stop(self) -> None:
-        """Unbind the IIOP port."""
-        if not self._running:
-            return
-        self.host.unbind(self.port)
-        self._running = False
+        """Unbind the IIOP port; replies completed later are dropped."""
+        self.endpoint.stop()
 
     @property
     def running(self) -> bool:
         """True while the ORB is accepting requests."""
-        return self._running
+        return self.endpoint.running
+
+    @property
+    def replies_dropped_after_stop(self) -> int:
+        """GIOP replies that resolved after :meth:`stop` and were dropped."""
+        return self.endpoint.stats.replies_dropped
 
     def object_reference(self, object_key: str, type_id: str | None = None) -> IOR:
         """Build the IOR naming the object registered under ``object_key``."""
@@ -141,51 +126,55 @@ class ServerOrb:
 
     # -- request handling -----------------------------------------------------
 
-    def _on_message(self, message: Message, host: Host) -> None:
+    def _on_request(self, message: Message, connection: Connection) -> ReplyOutcome:
         try:
             giop = parse_message(message.payload)
         except GiopError:
             # Without a parsable request id there is nothing to correlate a
             # reply with; real ORBs close the connection, we drop the message.
             self.system_exceptions_sent += 1
-            return
+            return None
         if not isinstance(giop, RequestMessage):
-            return
+            return None
 
-        def send(reply: ReplyMessage) -> None:
-            delay = self._processing_delay(len(message.payload), len(reply.body_cdr))
-            if delay > 0:
-                self.host.network.scheduler.schedule(
-                    delay,
-                    self._send_reply,
-                    message.source,
-                    reply,
-                    label=f"orb reply to {message.source}",
-                )
-            else:
-                self._send_reply(message.source, reply)
-
-        self._dispatch(giop, send)
-
-    def _dispatch(self, request: RequestMessage, send) -> None:
+        request_size = len(message.payload)
         try:
-            servant = self.poa.servant_for(request.object_key)
-            arguments = unmarshal_values(request.arguments_cdr)
-            result = servant.invoke(request.operation, arguments)
+            servant = self.poa.servant_for(giop.object_key)
+            arguments = unmarshal_values(giop.arguments_cdr)
+            result = servant.invoke(giop.operation, arguments)
         except BaseException as exc:  # noqa: BLE001 - mapped to a GIOP reply
-            send(self._exception_reply(request.request_id, exc))
-            return
+            return self._encoded(giop.request_id, None, exc, request_size, 0.0)
 
-        if isinstance(result, DeferredResult):
-            result._on_resolved(
-                lambda value, error: send(
-                    self._exception_reply(request.request_id, error)
-                    if error is not None
-                    else self._success_reply(request.request_id, value)
+        if isinstance(result, Deferred):
+            out: Deferred = Deferred(f"giop reply {giop.request_id}")
+            result.subscribe(
+                lambda value, error, delay: out.complete(
+                    *self._encoded(giop.request_id, value, error, request_size, delay)
                 )
             )
-            return
-        send(self._success_reply(request.request_id, result))
+            return out
+        return self._encoded(giop.request_id, result, None, request_size, 0.0)
+
+    def _encoded(
+        self,
+        request_id: int,
+        value: Any,
+        error: BaseException | None,
+        request_size: int,
+        extra_delay: float,
+    ) -> tuple[bytes, float]:
+        try:
+            reply = (
+                self._exception_reply(request_id, error)
+                if error is not None
+                else self._success_reply(request_id, value)
+            )
+        except BaseException as marshal_error:  # noqa: BLE001 - e.g. unmarshallable result
+            # A result the CDR layer cannot encode must still produce a
+            # reply, or the client (and this connection's FIFO) hangs.
+            reply = self._exception_reply(request_id, marshal_error)
+        delay = extra_delay + self._processing_delay(request_size, len(reply.body_cdr))
+        return reply.to_bytes(), delay
 
     def _success_reply(self, request_id: int, result: Any) -> ReplyMessage:
         self.requests_handled += 1
@@ -223,9 +212,6 @@ class ServerOrb:
             exception_detail=f"{type(exc).__name__}: {exc}",
         )
 
-    def _send_reply(self, destination: Address, reply: ReplyMessage) -> None:
-        self.host.send(destination, reply.to_bytes(), source_port=self.port)
-
     def _processing_delay(self, request_size: int, reply_size: int) -> float:
         if self.cost_model is None:
             return 0.0
@@ -235,7 +221,7 @@ class ServerOrb:
         return cost * self.speed_factor
 
     def __repr__(self) -> str:
-        state = "running" if self._running else "stopped"
+        state = "running" if self.running else "stopped"
         return f"ServerOrb({self.host.name}:{self.port}, {state})"
 
 
@@ -249,6 +235,10 @@ class RemoteObjectReference:
     def invoke(self, operation: str, *arguments: Any) -> Any:
         """Perform a blocking remote invocation of ``operation``."""
         return self.orb.invoke(self.ior, operation, arguments)
+
+    def invoke_async(self, operation: str, *arguments: Any) -> Deferred:
+        """Issue a non-blocking remote invocation of ``operation``."""
+        return self.orb.invoke_async(self.ior, operation, arguments)
 
     def __repr__(self) -> str:
         return f"RemoteObjectReference({self.ior.type_id} at {self.ior.host}:{self.ior.port})"
@@ -266,8 +256,8 @@ class ClientOrb:
         self.host = host
         self.cost_model = cost_model
         self.speed_factor = speed_factor
+        self.channel = ClientChannel(host, base_port=_EPHEMERAL_BASE, name="client-orb")
         self._request_ids = itertools.count(1)
-        self._next_ephemeral = _EPHEMERAL_BASE
         self.calls_made = 0
 
     # -- public API -----------------------------------------------------------
@@ -283,7 +273,29 @@ class ClientOrb:
         return RemoteObjectReference(self, ior)
 
     def invoke(self, ior: IOR, operation: str, arguments: tuple[Any, ...]) -> Any:
-        """Marshal, transmit, await and unmarshal one remote invocation."""
+        """Marshal, transmit, await and unmarshal one remote invocation.
+
+        CORBA exceptions are replies, not transport failures, so they leave
+        the connection intact; anything else (dead server, malformed reply)
+        resets it so a stale expectation cannot mis-correlate the next call.
+        """
+        try:
+            return self.invoke_async(ior, operation, arguments).wait(self.channel.scheduler)
+        except (CorbaUserException, CorbaSystemException):
+            raise
+        except BaseException:
+            self.channel.reset(Address(ior.host, ior.port))
+            raise
+
+    def invoke_async(self, ior: IOR, operation: str, arguments: tuple[Any, ...]) -> Deferred:
+        """Issue one remote invocation without blocking.
+
+        The returned deferred resolves with the operation result, or fails
+        with the mapped CORBA exception.  Marshalling cost is charged as a
+        virtual-clock delay before the request leaves; unmarshalling cost
+        delays the resolution, so the round-trip time a caller observes is
+        identical to the blocking path.
+        """
         request_id = next(self._request_ids)
         arguments_cdr = marshal_values(tuple(arguments))
         request = RequestMessage(
@@ -293,32 +305,54 @@ class ClientOrb:
             arguments_cdr=arguments_cdr,
         )
         payload = request.to_bytes()
-        self._charge(len(payload))
+        scheduler = self.channel.scheduler
+        result: Deferred = Deferred(f"CORBA {operation} on {ior.object_key}")
 
-        scheduler = self.host.network.scheduler
-        latch: CompletionLatch[ReplyMessage] = CompletionLatch(
-            scheduler, description=f"CORBA {operation} on {ior.object_key}"
-        )
-        port = self._allocate_port()
-
-        def on_reply(message: Message, _host: Host) -> None:
-            self.host.unbind(port)
+        def parse(message: Message) -> ReplyMessage:
             try:
                 giop = parse_message(message.payload)
             except GiopError as exc:
-                latch.fail(CorbaError(f"malformed GIOP reply: {exc}"))
-                return
+                raise CorbaError(f"malformed GIOP reply: {exc}") from None
             if not isinstance(giop, ReplyMessage) or giop.request_id != request_id:
-                latch.fail(CorbaError("GIOP reply does not match the outstanding request"))
-                return
-            latch.complete(giop)
+                raise CorbaError("GIOP reply does not match the outstanding request")
+            return giop
 
-        self.host.bind(port, on_reply)
-        self.host.send(Address(ior.host, ior.port), payload, source_port=port)
-        reply = latch.wait()
-        self._charge(len(reply.body_cdr) + 24)
-        self.calls_made += 1
-        return self._interpret_reply(reply)
+        def on_reply(reply: ReplyMessage | None, error: BaseException | None, _delay: float) -> None:
+            if error is not None:
+                result.fail(error)
+                return
+            self.calls_made += 1
+            cost = self._cost(len(reply.body_cdr) + 24)
+            if cost > 0:
+                scheduler.schedule(cost, finish, reply, label="client-orb processing")
+            else:
+                finish(reply)
+
+        def finish(reply: ReplyMessage) -> None:
+            try:
+                result.complete(self._interpret_reply(reply))
+            except BaseException as exc:  # noqa: BLE001 - CORBA exceptions propagate
+                result.fail(exc)
+
+        def send() -> None:
+            wire = self.channel.request_async(
+                Address(ior.host, ior.port),
+                payload,
+                parse,
+                description=f"CORBA {operation} on {ior.object_key}",
+            )
+            wire.subscribe(on_reply)
+
+        marshal_cost = self._cost(len(payload))
+        if marshal_cost > 0:
+            scheduler.schedule(marshal_cost, send, label="client-orb processing")
+        else:
+            send()
+        return result
+
+    def close(self) -> None:
+        """Close every connection this ORB holds."""
+        self.channel.close()
 
     # -- internals ------------------------------------------------------------
 
@@ -330,23 +364,10 @@ class ClientOrb:
             raise CorbaUserException(reply.exception_type, reply.exception_detail)
         raise CorbaSystemException(reply.exception_type or "UNKNOWN", reply.exception_detail)
 
-    def _charge(self, size_bytes: int) -> None:
+    def _cost(self, size_bytes: int) -> float:
         if self.cost_model is None:
-            return
-        cost = self.cost_model.binary_processing(size_bytes) * self.speed_factor
-        if cost <= 0:
-            return
-        scheduler = self.host.network.scheduler
-        done: list[bool] = []
-        scheduler.schedule(cost, lambda: done.append(True), label="client-orb processing")
-        scheduler.run_until(lambda: bool(done), description="client ORB processing")
-
-    def _allocate_port(self) -> int:
-        while self.host.is_bound(self._next_ephemeral):
-            self._next_ephemeral += 1
-        port = self._next_ephemeral
-        self._next_ephemeral += 1
-        return port
+            return 0.0
+        return self.cost_model.binary_processing(size_bytes) * self.speed_factor
 
     def __repr__(self) -> str:
         return f"ClientOrb(host={self.host.name!r}, calls={self.calls_made})"

@@ -78,6 +78,15 @@ class BindingStats:
     stale_faults: int = 0
     not_initialized_faults: int = 0
     refreshes: int = 0
+    #: Per-call round-trip times in virtual seconds, in call order.
+    rtt_samples: list[float] = field(default_factory=list)
+
+    @property
+    def mean_rtt(self) -> float:
+        """Mean observed round-trip time (0.0 before the first call)."""
+        if not self.rtt_samples:
+            return 0.0
+        return sum(self.rtt_samples) / len(self.rtt_samples)
 
 
 class DynamicClientBinding:
@@ -165,9 +174,17 @@ class DynamicClientBinding:
         part of the client's current view — the server decides.
         """
         self.stats.invocations += 1
-        if self.technology == TECHNOLOGY_SOAP:
-            return self._invoke_soap(operation, arguments)
-        return self._invoke_corba(operation, arguments)
+        started = self._scheduler.now
+        try:
+            if self.technology == TECHNOLOGY_SOAP:
+                return self._invoke_soap(operation, arguments)
+            return self._invoke_corba(operation, arguments)
+        finally:
+            self.stats.rtt_samples.append(self._scheduler.now - started)
+
+    @property
+    def _scheduler(self):
+        return self.cde.host.network.scheduler
 
     # -- SOAP path ------------------------------------------------------------------
 

@@ -49,6 +49,8 @@ class CallStats:
     malformed_requests: int = 0
     stalled_calls: int = 0
     queued_while_stalled: int = 0
+    #: Deepest the §5.7 stall queue ever got (multi-client scaling metric).
+    max_stall_queue_depth: int = 0
 
 
 @dataclass
@@ -116,6 +118,9 @@ class CallHandler:
         if self._stalled:
             self.stats.queued_while_stalled += 1
             self._stall_queue.append(lambda: self._process(operation, arguments, outcome))
+            self.stats.max_stall_queue_depth = max(
+                self.stats.max_stall_queue_depth, len(self._stall_queue)
+            )
             return
         self._process(operation, arguments, outcome)
 
@@ -159,6 +164,16 @@ class CallHandler:
                     return None
             return method
         return None
+
+    @property
+    def stall_queue_depth(self) -> int:
+        """Calls currently queued behind a §5.7 stall."""
+        return len(self._stall_queue)
+
+    @property
+    def stalled(self) -> bool:
+        """True while a §5.7 stall is in effect."""
+        return self._stalled
 
     # -- §5.7: stale calls -----------------------------------------------------------
 

@@ -17,7 +17,8 @@ from typing import TYPE_CHECKING, Any
 from repro.core.sde.call_handler import CallHandler, DispatchOutcome
 from repro.corba.dsi import DynamicServant, ServerRequest
 from repro.corba.ior import IOR
-from repro.corba.orb import DeferredResult, ServerOrb
+from repro.corba.orb import ServerOrb
+from repro.net.transport import Deferred
 from repro.corba.poa import PortableObjectAdapter
 from repro.errors import (
     CorbaUserException,
@@ -87,7 +88,7 @@ class CorbaCallHandler(CallHandler):
     # -- DSI dispatch -------------------------------------------------------------
 
     def _serve_request(self, request: ServerRequest) -> None:
-        deferred = DeferredResult()
+        deferred: Deferred = Deferred(f"giop result for {request.operation}")
 
         def on_result(value: Any, signature: OperationSignature) -> None:
             deferred.complete(value)

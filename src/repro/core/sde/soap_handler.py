@@ -5,9 +5,10 @@ SOAP to Java and Java to SOAP translation for remote method invocations."
 Here it binds an HTTP endpoint on the server host, parses incoming SOAP
 Requests, feeds them through the shared dispatch logic of
 :class:`~repro.core.sde.call_handler.CallHandler`, and encodes the outcome as
-a SOAP Response (value or fault).  Replies are issued through
-:class:`~repro.net.http.server.DeferredHttpResponse` so a §5.7 stall simply
-delays the reply without blocking the simulated server.
+a SOAP Response (value or fault).  Replies are issued through the transport
+layer's generic :class:`~repro.net.transport.Deferred` so a §5.7 stall simply
+delays the reply without blocking the simulated server; per-connection FIFO
+ordering guarantees stalled replies drain in arrival order.
 """
 
 from __future__ import annotations
@@ -22,7 +23,8 @@ from repro.errors import (
     SoapError,
 )
 from repro.interface import OperationSignature
-from repro.net.http import DeferredHttpResponse, HttpRequest, HttpResponse, HttpServer
+from repro.net.http import HttpRequest, HttpResponse, HttpServer
+from repro.net.transport import Deferred
 from repro.rmitypes import TypeRegistry
 from repro.soap.envelope import SoapRequest, SoapResponse
 from repro.soap.faults import SoapFault
@@ -75,7 +77,7 @@ class SoapCallHandler(CallHandler):
             fault = SoapFault.malformed_request(str(exc))
             return self._fault_response("", fault, len(request.body))
 
-        deferred = DeferredHttpResponse()
+        deferred: Deferred = Deferred(f"soap reply for {soap_request.operation}")
 
         def on_result(value: Any, signature: OperationSignature) -> None:
             response = SoapResponse.for_result(

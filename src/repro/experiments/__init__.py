@@ -12,7 +12,10 @@ benchmark in ``benchmarks/`` (the DESIGN.md experiment index maps them):
 * :mod:`repro.experiments.stale_flood` — E5, the §5.7 rogue-client ablation;
 * :mod:`repro.experiments.encoding_costs` — E6, SOAP vs GIOP message sizes;
 * :mod:`repro.experiments.interface_generation` — E7, interface-generation
-  cost versus interface size.
+  cost versus interface size;
+* :mod:`repro.experiments.multi_client` — E8, multi-client scale-out over
+  the shared transport layer (RTT, throughput and §5.7 stall-queue depth as
+  the client fleet grows 1 → 64 for both middlewares).
 """
 
 from repro.core.protocol.interleaving import run_figure7_matrix, run_figure8_matrix
@@ -26,6 +29,11 @@ from repro.experiments.encoding_costs import EncodingResult, run_encoding_compar
 from repro.experiments.interface_generation import (
     GenerationResult,
     run_interface_generation_sweep,
+)
+from repro.experiments.multi_client import (
+    MultiClientResult,
+    run_multi_client,
+    run_scaling,
 )
 
 __all__ = [
@@ -42,4 +50,7 @@ __all__ = [
     "run_encoding_comparison",
     "GenerationResult",
     "run_interface_generation_sweep",
+    "MultiClientResult",
+    "run_multi_client",
+    "run_scaling",
 ]

@@ -1,0 +1,178 @@
+"""E8 — Multi-client scale-out: RTT and stall-queue behaviour vs client count.
+
+The paper evaluates one client against one SDE (Table 1).  This experiment
+asks the scaling question the reproduction's north-star cares about: what
+happens to per-call round-trip time and to the §5.7 stall queue as the
+number of concurrent clients grows 1 → 64, for both middlewares?
+
+Each configuration builds a fresh testbed (one SDE server host, N client
+hosts on the same latency profile), publishes an echo service, and drives
+every client through the deterministic callback-driven workload driver in
+:mod:`repro.workload`.  Two scenarios:
+
+* ``steady`` — every call hits a live method; measures pure transport/dispatch
+  scaling (connection reuse, FIFO reply ordering, endpoint dispatch).
+* ``stale_storm`` — a scripted mid-run edit leaves the published interface
+  behind the live one, and every third call per client targets a method the
+  server does not implement; with reactive publication this exercises the
+  §5.7 stall protocol under load, and the report captures how deep the stall
+  queue grows with the fleet size.
+
+Determinism: the same configuration always yields byte-identical RTT
+sequences, which the multi-client benchmark asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.sde import SDEConfig
+from repro.net.latency import CostModel
+from repro.rmitypes import STRING, VOID
+from repro.testbed import LiveDevelopmentTestbed, OperationSpec
+from repro.workload import WorkloadReport, WorkloadSpec, run_workload
+
+#: Client counts swept by the scaling benchmark (1 → 64).
+DEFAULT_CLIENT_COUNTS: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64)
+
+#: The echo payload used for every measured call.
+ECHO_PAYLOAD = "hello from the client fleet"
+
+SCENARIO_STEADY = "steady"
+SCENARIO_STALE_STORM = "stale_storm"
+
+
+@dataclass(frozen=True)
+class MultiClientResult:
+    """Outcome of one (technology, scenario, client-count) configuration."""
+
+    technology: str
+    scenario: str
+    clients: int
+    calls_per_client: int
+    mean_rtt: float
+    max_rtt: float
+    throughput: float
+    stalled_calls: int
+    max_stall_queue_depth: int
+    server_connections: int
+    report: WorkloadReport
+
+    @property
+    def total_calls(self) -> int:
+        """Calls completed across the fleet."""
+        return self.report.total_calls
+
+
+def _echo_body(_instance, message: str) -> str:
+    return message
+
+
+def _build_testbed(
+    technology: str, cost_model: CostModel | None, publication_timeout: float
+) -> tuple[LiveDevelopmentTestbed, object]:
+    testbed = LiveDevelopmentTestbed(
+        cost_model=cost_model,
+        sde_config=SDEConfig(
+            cost_model=cost_model, publication_timeout=publication_timeout
+        ),
+    )
+    create = (
+        testbed.create_soap_server if technology == "soap" else testbed.create_corba_server
+    )
+    dynamic_class, _instance = create(
+        "EchoService",
+        [OperationSpec("echo", (("message", STRING),), STRING, body=_echo_body)],
+    )
+    testbed.publish_now("EchoService")
+    return testbed, dynamic_class
+
+
+def run_multi_client(
+    technology: str,
+    clients: int,
+    calls_per_client: int = 10,
+    scenario: str = SCENARIO_STEADY,
+    cost_model: CostModel | None = None,
+) -> MultiClientResult:
+    """Run one scale-out configuration and summarise it."""
+    if scenario not in (SCENARIO_STEADY, SCENARIO_STALE_STORM):
+        raise ValueError(f"unknown scenario {scenario!r}")
+    publication_timeout = 5.0 if scenario == SCENARIO_STALE_STORM else 2.0
+    testbed, dynamic_class = _build_testbed(technology, cost_model, publication_timeout)
+
+    if scenario == SCENARIO_STALE_STORM:
+        spec = WorkloadSpec(
+            technology=technology,
+            clients=clients,
+            calls_per_client=calls_per_client,
+            operation="echo",
+            arguments=(ECHO_PAYLOAD,),
+            stale_every=3,
+            think_time=0.05,
+            # The edit lands as the fleet starts: the publication timer is
+            # running when the stale calls arrive, so they stall (§5.7).
+            scripted_events=(
+                (0.0, lambda: dynamic_class.add_method("added_later", (), VOID, distributed=True)),
+            ),
+        )
+    else:
+        spec = WorkloadSpec(
+            technology=technology,
+            clients=clients,
+            calls_per_client=calls_per_client,
+            operation="echo",
+            arguments=(ECHO_PAYLOAD,),
+        )
+
+    report = run_workload(testbed, "EchoService", spec)
+    return MultiClientResult(
+        technology=technology,
+        scenario=scenario,
+        clients=clients,
+        calls_per_client=calls_per_client,
+        mean_rtt=report.mean_rtt,
+        max_rtt=report.max_rtt,
+        throughput=report.throughput,
+        stalled_calls=report.stalled_calls,
+        max_stall_queue_depth=report.max_stall_queue_depth,
+        server_connections=report.server_connections,
+        report=report,
+    )
+
+
+def run_scaling(
+    technologies: tuple[str, ...] = ("soap", "corba"),
+    client_counts: tuple[int, ...] = DEFAULT_CLIENT_COUNTS,
+    calls_per_client: int = 10,
+    scenario: str = SCENARIO_STEADY,
+    cost_model: CostModel | None = None,
+) -> list[MultiClientResult]:
+    """Sweep client counts for each technology and return all results."""
+    return [
+        run_multi_client(
+            technology,
+            clients,
+            calls_per_client=calls_per_client,
+            scenario=scenario,
+            cost_model=cost_model,
+        )
+        for technology in technologies
+        for clients in client_counts
+    ]
+
+
+def format_scaling(results: list[MultiClientResult]) -> str:
+    """Render scaling results as a table."""
+    lines = [
+        f"{'tech':6s} {'scenario':12s} {'clients':>7s} {'mean RTT':>9s} "
+        f"{'max RTT':>9s} {'calls/s':>9s} {'stalls':>6s} {'queue':>5s}",
+        "-" * 68,
+    ]
+    for result in results:
+        lines.append(
+            f"{result.technology:6s} {result.scenario:12s} {result.clients:7d} "
+            f"{result.mean_rtt:9.4f} {result.max_rtt:9.4f} {result.throughput:9.1f} "
+            f"{result.stalled_calls:6d} {result.max_stall_queue_depth:5d}"
+        )
+    return "\n".join(lines)

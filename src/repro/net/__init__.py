@@ -17,6 +17,14 @@ from repro.net.latency import (
     wan_profile,
 )
 from repro.net.simnet import Host, Message, Network, PortListener
+from repro.net.transport import (
+    ClientChannel,
+    Connection,
+    Deferred,
+    Endpoint,
+    RouteTable,
+    TransportStats,
+)
 
 __all__ = [
     "CostModel",
@@ -28,4 +36,10 @@ __all__ = [
     "Message",
     "Network",
     "PortListener",
+    "ClientChannel",
+    "Connection",
+    "Deferred",
+    "Endpoint",
+    "RouteTable",
+    "TransportStats",
 ]

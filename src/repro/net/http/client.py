@@ -1,9 +1,12 @@
-"""Blocking HTTP client for the simulated network.
+"""HTTP client for the simulated network, built on the transport layer.
 
-Each in-flight request is issued from a dedicated ephemeral port so that
-responses are correlated with requests without connection state.  ``request``
-drives the event scheduler until the response arrives, which is how
-synchronous RMI calls are expressed on the single-threaded simulator.
+The client keeps one persistent connection (source port) per destination —
+HTTP/1.1 keep-alive — through a :class:`~repro.net.transport.ClientChannel`.
+``request`` drives the event scheduler until the response arrives, which is
+how synchronous RMI calls are expressed on the single-threaded simulator;
+``request_async`` returns a :class:`~repro.net.transport.Deferred` instead,
+which is what lets a multi-client workload keep many requests in flight
+deterministically.
 """
 
 from __future__ import annotations
@@ -11,7 +14,7 @@ from __future__ import annotations
 from repro.errors import HttpError
 from repro.net.http.messages import HttpRequest, HttpResponse
 from repro.net.simnet import Address, Host, Message
-from repro.sim.latch import CompletionLatch
+from repro.net.transport import ClientChannel, Deferred
 
 _EPHEMERAL_BASE = 49152
 
@@ -22,9 +25,17 @@ class HttpClient:
     def __init__(self, host: Host, name: str = "http-client") -> None:
         self.host = host
         self.name = name
-        self._next_ephemeral = _EPHEMERAL_BASE
-        self.requests_sent = 0
-        self.responses_received = 0
+        self.channel = ClientChannel(host, base_port=_EPHEMERAL_BASE, name=name)
+
+    @property
+    def requests_sent(self) -> int:
+        """Total requests issued through this client."""
+        return self.channel.requests_sent
+
+    @property
+    def responses_received(self) -> int:
+        """Total responses received by this client."""
+        return self.channel.replies_received
 
     # -- public API ---------------------------------------------------------
 
@@ -53,6 +64,31 @@ class HttpClient:
         ``url`` must be of the form ``http://<host>:<port>/<path>`` where
         ``<host>`` is a simulated host name.
         """
+        destination, payload = self._build(method, url, body, headers)
+        return self.channel.request(
+            destination, payload, self._parse_response, description=f"{method} {url}"
+        )
+
+    def request_async(
+        self,
+        method: str,
+        url: str,
+        body: str = "",
+        headers: dict[str, str] | None = None,
+    ) -> Deferred[HttpResponse]:
+        """Issue a request without blocking; resolve with the response."""
+        destination, payload = self._build(method, url, body, headers)
+        return self.channel.request_async(
+            destination, payload, self._parse_response, description=f"{method} {url}"
+        )
+
+    def _build(
+        self,
+        method: str,
+        url: str,
+        body: str,
+        headers: dict[str, str] | None,
+    ) -> tuple[Address, bytes]:
         destination, path = self.parse_url(url)
         request = HttpRequest(
             method=method,
@@ -61,28 +97,17 @@ class HttpClient:
             body=body,
         )
         request.headers.setdefault("Host", f"{destination.host}:{destination.port}")
+        return destination, request.to_bytes()
 
-        scheduler = self.host.network.scheduler
-        latch: CompletionLatch[HttpResponse] = CompletionLatch(
-            scheduler, description=f"{method} {url}"
-        )
-        port = self._allocate_port()
-
-        def on_response(message: Message, _host: Host) -> None:
-            self.host.unbind(port)
-            try:
-                latch.complete(HttpResponse.from_bytes(message.payload))
-            except HttpError as exc:
-                latch.fail(exc)
-
-        self.host.bind(port, on_response)
-        self.host.send(destination, request.to_bytes(), source_port=port)
-        self.requests_sent += 1
-        response = latch.wait()
-        self.responses_received += 1
-        return response
+    def close(self) -> None:
+        """Close every kept-alive connection and release its port."""
+        self.channel.close()
 
     # -- helpers ------------------------------------------------------------
+
+    @staticmethod
+    def _parse_response(message: Message) -> HttpResponse:
+        return HttpResponse.from_bytes(message.payload)
 
     @staticmethod
     def parse_url(url: str) -> tuple[Address, str]:
@@ -106,13 +131,6 @@ class HttpClient:
         if not host:
             raise HttpError(f"missing host in URL {url!r}")
         return Address(host, port), path
-
-    def _allocate_port(self) -> int:
-        while self.host.is_bound(self._next_ephemeral):
-            self._next_ephemeral += 1
-        port = self._next_ephemeral
-        self._next_ephemeral += 1
-        return port
 
     def __repr__(self) -> str:
         return f"HttpClient(host={self.host.name!r}, sent={self.requests_sent})"

@@ -1,4 +1,4 @@
-"""Route-based HTTP server bound to a simulated host port.
+"""Route-based HTTP server running on the shared transport layer.
 
 Handlers may return:
 
@@ -6,10 +6,18 @@ Handlers may return:
 * a ``(response, processing_delay)`` tuple — sent ``processing_delay``
   virtual seconds later, which is how server-side CPU cost (XML parsing,
   reflection dispatch) is charged to the round-trip time;
-* a :class:`DeferredHttpResponse` — sent whenever the handler (or anything
-  holding the deferred object) later calls
-  :meth:`DeferredHttpResponse.complete`.  SDE's call handlers use this to
-  stall a reply until the interface publisher has caught up (§5.7).
+* a :class:`~repro.net.transport.Deferred` — sent whenever the handler (or
+  anything holding the deferred object) later calls
+  :meth:`~repro.net.transport.Deferred.complete` with the response.  SDE's
+  call handlers use this to stall a reply until the interface publisher has
+  caught up (§5.7).
+
+Connection semantics (per-peer FIFO reply ordering, keep-alive accounting,
+dropping replies completed after :meth:`HttpServer.stop`) come from the
+underlying :class:`~repro.net.transport.Endpoint`; route lookup for exact
+paths is O(1) through a :class:`~repro.net.transport.RouteTable` keyed by
+``(method, path)``, with a registration-order scan reserved for prefix
+routes.
 """
 
 from __future__ import annotations
@@ -17,43 +25,25 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Union
 
-from repro.errors import HttpError, NetworkError
+from repro.errors import HttpError
 from repro.net.http.messages import HttpRequest, HttpResponse, StatusCodes
 from repro.net.simnet import Address, Host, Message
+from repro.net.transport import Connection, Deferred, Endpoint, ReplyOutcome, RouteTable
 
 
-class DeferredHttpResponse:
-    """A reply that will be provided later by the handler."""
+class DeferredHttpResponse(Deferred):
+    """A reply that will be provided later by the handler.
+
+    Kept as a named alias of the transport layer's generic
+    :class:`~repro.net.transport.Deferred`; both names resolve replies the
+    same way, and :class:`HttpServer` accepts either.
+    """
 
     def __init__(self) -> None:
-        self._completed = False
-        self._send: Callable[[HttpResponse, float], None] | None = None
-        self._pending: tuple[HttpResponse, float] | None = None
-
-    @property
-    def completed(self) -> bool:
-        """True once :meth:`complete` has been called."""
-        return self._completed
-
-    def complete(self, response: HttpResponse, delay: float = 0.0) -> None:
-        """Provide the response (optionally after ``delay`` seconds)."""
-        if self._completed:
-            raise NetworkError("deferred HTTP response completed twice")
-        self._completed = True
-        if self._send is not None:
-            self._send(response, delay)
-        else:
-            self._pending = (response, delay)
-
-    def _attach(self, send: Callable[[HttpResponse, float], None]) -> None:
-        self._send = send
-        if self._pending is not None:
-            response, delay = self._pending
-            self._pending = None
-            send(response, delay)
+        super().__init__("deferred HTTP response")
 
 
-HandlerResult = Union[HttpResponse, tuple[HttpResponse, float], DeferredHttpResponse]
+HandlerResult = Union[HttpResponse, tuple[HttpResponse, float], Deferred]
 Handler = Callable[[HttpRequest], HandlerResult]
 
 
@@ -83,12 +73,25 @@ class Route:
 class HttpServer:
     """An HTTP server listening on ``(host, port)`` of the simulated network."""
 
-    def __init__(self, host: Host, port: int, name: str = "http-server") -> None:
+    def __init__(
+        self,
+        host: Host,
+        port: int,
+        name: str = "http-server",
+        charge_connection_setup: bool = False,
+    ) -> None:
         self.host = host
         self.port = port
         self.name = name
+        self.endpoint = Endpoint(
+            host,
+            port,
+            self._on_request,
+            name=name,
+            charge_connection_setup=charge_connection_setup,
+        )
         self._routes: list[Route] = []
-        self._started = False
+        self._table: RouteTable[Route] = RouteTable()
         self.requests_served = 0
         self.last_request: HttpRequest | None = None
 
@@ -104,12 +107,27 @@ class HttpServer:
         """Register ``handler`` for ``path`` and return the created route."""
         route = Route(path=path, handler=handler, methods=tuple(m.upper() for m in methods), prefix=prefix)
         self._routes.append(route)
+        self._register(route)
         return route
 
+    def _register(self, route: Route) -> None:
+        for method in route.methods:
+            if route.prefix:
+                self._table.add_prefix(method, route.path, route)
+            else:
+                self._table.add_exact((method, route.path), route)
+
     def remove_route(self, route: Route) -> None:
-        """Unregister a previously added route."""
+        """Unregister a previously added route; removing twice is a no-op.
+
+        The route table is rebuilt from the remaining routes so a route that
+        was shadowed by a duplicate registration becomes reachable again.
+        """
         if route in self._routes:
             self._routes.remove(route)
+        self._table = RouteTable()
+        for remaining in self._routes:
+            self._register(remaining)
 
     @property
     def routes(self) -> tuple[Route, ...]:
@@ -130,83 +148,61 @@ class HttpServer:
 
     def start(self) -> None:
         """Bind to the host port and begin serving."""
-        if self._started:
-            return
-        self.host.bind(self.port, self._on_message)
-        self._started = True
+        self.endpoint.start()
 
     def stop(self) -> None:
-        """Unbind from the host port."""
-        if not self._started:
-            return
-        self.host.unbind(self.port)
-        self._started = False
+        """Unbind from the host port; replies completed later are dropped."""
+        self.endpoint.stop()
 
     @property
     def running(self) -> bool:
         """True while the server is bound to its port."""
-        return self._started
+        return self.endpoint.running
+
+    @property
+    def replies_dropped_after_stop(self) -> int:
+        """Replies that were completed after :meth:`stop` and dropped."""
+        return self.endpoint.stats.replies_dropped
 
     # -- request handling ---------------------------------------------------
 
-    def _on_message(self, message: Message, host: Host) -> None:
+    def _on_request(self, message: Message, connection: Connection) -> ReplyOutcome:
         try:
             request = HttpRequest.from_bytes(message.payload)
         except HttpError as exc:
-            self._reply(message, HttpResponse(StatusCodes.BAD_REQUEST, body=str(exc)))
-            return
+            return HttpResponse(StatusCodes.BAD_REQUEST, body=str(exc)).to_bytes()
 
         self.last_request = request
         self.requests_served += 1
 
         route = self._match(request)
         if route is None:
-            self._reply(message, HttpResponse.not_found(f"no route for {request.path}"))
-            return
+            return HttpResponse.not_found(f"no route for {request.path}").to_bytes()
 
         try:
             result = route.handler(request)
         except Exception as exc:  # noqa: BLE001 - converted to HTTP 500
-            self._reply(message, HttpResponse.server_error(f"{type(exc).__name__}: {exc}"))
-            return
+            return HttpResponse.server_error(f"{type(exc).__name__}: {exc}").to_bytes()
 
-        if isinstance(result, DeferredHttpResponse):
-            result._attach(
-                lambda response, delay: self._reply_later(message, response, delay)
-            )
-        elif isinstance(result, tuple):
+        if isinstance(result, Deferred):
+            return result.transform(self._encode_resolution)
+        if isinstance(result, tuple):
             response, delay = result
-            self._reply_later(message, response, delay)
-        else:
-            self._reply(message, result)
+            return response.to_bytes(), delay
+        return result.to_bytes()
 
     def _match(self, request: HttpRequest) -> Route | None:
-        for route in self._routes:
-            if route.matches(request.method, request.path):
-                return route
-        return None
-
-    def _reply_later(
-        self, request_message: Message, response: HttpResponse, delay: float
-    ) -> None:
-        if delay <= 0:
-            self._reply(request_message, response)
-            return
-        self.host.network.scheduler.schedule(
-            delay,
-            self._reply,
-            request_message,
-            response,
-            label=f"{self.name} reply to {request_message.source}",
+        bare_path = request.path.split("?", 1)[0]
+        return self._table.lookup(
+            (request.method, bare_path), prefix_scope=request.method, path=bare_path
         )
 
-    def _reply(self, request_message: Message, response: HttpResponse) -> None:
-        self.host.send(
-            destination=request_message.source,
-            payload=response.to_bytes(),
-            source_port=self.port,
-        )
+    @staticmethod
+    def _encode_resolution(value: HttpResponse | None, error: BaseException | None) -> bytes:
+        if error is not None:
+            return HttpResponse.server_error(f"{type(error).__name__}: {error}").to_bytes()
+        return value.to_bytes()  # type: ignore[union-attr]
 
     def __repr__(self) -> str:
-        state = "running" if self._started else "stopped"
+        state = "running" if self.running else "stopped"
         return f"HttpServer({self.url}, routes={len(self._routes)}, {state})"

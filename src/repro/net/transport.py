@@ -1,0 +1,711 @@
+"""Protocol-agnostic request/reply transport layer.
+
+Both middleware stacks of the reproduction — SOAP-over-HTTP and CORBA/GIOP —
+carry ordered request/reply traffic between clients and the SDE.  Before this
+module existed each stack wired itself directly onto :meth:`Host.bind` /
+:meth:`Host.send` with its own deferred-reply mechanism; this module factors
+the shared machinery out:
+
+* :class:`Deferred` — the single reply-future used by every protocol.  A
+  handler that cannot answer immediately returns a ``Deferred`` and resolves
+  it later with :meth:`~Deferred.complete` or :meth:`~Deferred.fail`; SDE's
+  §5.7 stall-until-published behaviour is expressed entirely through it.
+* :class:`Connection` — per-peer connection state on a server endpoint.
+  Replies on one connection are delivered in request-arrival order (FIFO,
+  the ordering HTTP/1.1 keep-alive and GIOP both guarantee), and opening a
+  connection can be charged a handshake cost derived from the link's latency
+  model (keep-alive accounting: the cost is paid once, then amortised over
+  every reuse).
+* :class:`Endpoint` — the server-side dispatch loop.  It owns the port
+  binding, the connection table and the reply path; replies completed after
+  :meth:`Endpoint.stop` are dropped (and counted) instead of being sent
+  through an unbound port.
+* :class:`RouteTable` — an O(1) exact-match route table with a
+  registration-order scan reserved for prefix routes.
+* :class:`ClientChannel` — the client side: one persistent source port per
+  destination (a client connection), blocking *and* asynchronous request
+  helpers, and FIFO reply correlation.
+
+The HTTP server/client and the server/client ORBs are thin protocol codecs
+over these five classes; the SDE call handlers and CDE bindings sit one layer
+above and never touch raw ports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generic, Hashable, TypeVar, Union
+
+from repro.errors import TransportError
+from repro.net.simnet import Address, Host, Message
+from repro.sim.latch import CompletionLatch
+
+T = TypeVar("T")
+
+#: Tie-break added when a send must be held back so it cannot arrive at the
+#: exact instant of (and race with) the message in front of it.
+_STREAM_ORDER_EPSILON = 1e-9
+
+
+def _send_in_order(
+    scheduler,
+    delay: float,
+    last_arrival: float,
+    send_now: Callable[[], None],
+    label: str,
+) -> float:
+    """Transmit (now or held back) so per-connection arrivals are ordered.
+
+    A connection is a byte stream: a small message sent right after a large
+    one must not overtake it, even though the simulated network delays each
+    message independently by size.  Returns the new latest-arrival estimate.
+    """
+    arrival = scheduler.now + delay
+    if arrival <= last_arrival:
+        arrival = last_arrival + _STREAM_ORDER_EPSILON
+        scheduler.schedule(arrival - delay - scheduler.now, send_now, label=label)
+    else:
+        send_now()
+    return arrival
+
+#: Callback signature for :meth:`Deferred.subscribe`:
+#: ``callback(value, error, delay)`` with exactly one of value/error set.
+ResolveCallback = Callable[[Any, Union[BaseException, None], float], None]
+
+
+class Deferred(Generic[T]):
+    """A reply that will be provided later.
+
+    The one reply-future shared by every protocol stack.  Handlers resolve it
+    with :meth:`complete` (a value, optionally charged a processing ``delay``)
+    or :meth:`fail` (an error the protocol layer encodes as a fault reply).
+    """
+
+    __slots__ = ("_done", "_value", "_error", "_delay", "_callbacks", "description")
+
+    def __init__(self, description: str = "deferred reply") -> None:
+        self.description = description
+        self._done = False
+        self._value: T | None = None
+        self._error: BaseException | None = None
+        self._delay = 0.0
+        self._callbacks: list[ResolveCallback] = []
+
+    @property
+    def completed(self) -> bool:
+        """True once :meth:`complete` or :meth:`fail` has been called."""
+        return self._done
+
+    def complete(self, value: T, delay: float = 0.0) -> None:
+        """Resolve with ``value``, to be delivered after ``delay`` seconds."""
+        self._resolve(value, None, delay)
+
+    def fail(self, error: BaseException, delay: float = 0.0) -> None:
+        """Resolve with an error to be propagated to the requester."""
+        self._resolve(None, error, delay)
+
+    def subscribe(self, callback: ResolveCallback) -> None:
+        """Invoke ``callback(value, error, delay)`` on (or after) resolution."""
+        if self._done:
+            callback(self._value, self._error, self._delay)
+        else:
+            self._callbacks.append(callback)
+
+    def transform(self, encode: Callable[[Any, Union[BaseException, None]], Any]) -> "Deferred":
+        """Return a new deferred resolving with ``encode(value, error)``.
+
+        Protocol servers use this to turn a handler-level deferred (an
+        HttpResponse, a servant return value) into a wire-level deferred of
+        payload bytes without the endpoint knowing either type.  An encoder
+        that raises fails the transformed deferred.
+        """
+        out: Deferred = Deferred(self.description)
+
+        def resolved(value: Any, error: BaseException | None, delay: float) -> None:
+            try:
+                encoded = encode(value, error)
+            except BaseException as exc:  # noqa: BLE001 - encode failure fails out
+                out.fail(exc, delay)
+                return
+            out.complete(encoded, delay)
+
+        self.subscribe(resolved)
+        return out
+
+    def wait(self, scheduler, max_events: int = 1_000_000) -> T:
+        """Drive ``scheduler`` until resolved; return the value or raise."""
+        latch: CompletionLatch[T] = CompletionLatch(scheduler, description=self.description)
+
+        def resolved(value: Any, error: BaseException | None, _delay: float) -> None:
+            if error is not None:
+                latch.fail(error)
+            else:
+                latch.complete(value)
+
+        self.subscribe(resolved)
+        return latch.wait(max_events=max_events)
+
+    def _resolve(self, value: Any, error: BaseException | None, delay: float) -> None:
+        if self._done:
+            raise TransportError(f"{self.description} completed twice")
+        self._done = True
+        self._value = value
+        self._error = error
+        self._delay = delay
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(value, error, delay)
+
+    def __repr__(self) -> str:
+        state = "resolved" if self._done else "pending"
+        return f"Deferred({self.description!r}, {state})"
+
+
+#: What an endpoint handler may return for one request: an immediate payload,
+#: a ``(payload, processing_delay)`` pair, a :class:`Deferred` resolving to a
+#: payload, or ``None`` for one-way traffic that produces no reply.
+ReplyOutcome = Union[bytes, tuple[bytes, float], Deferred, None]
+
+
+@dataclass
+class TransportStats:
+    """Counters kept per endpoint (and mirrored per connection)."""
+
+    requests_received: int = 0
+    replies_sent: int = 0
+    replies_dropped: int = 0
+    connections_opened: int = 0
+    connections_reused: int = 0
+    handler_errors: int = 0
+
+
+class Connection:
+    """Server-side state for one remote peer of an :class:`Endpoint`.
+
+    Incoming requests are numbered in arrival order; their replies are
+    released strictly in that order, whatever order the handlers resolve in.
+    A handshake cost (derived from the link latency model when the endpoint
+    charges connection setup) delays the very first reply, modelling TCP/IIOP
+    connection establishment that keep-alive then amortises.
+    """
+
+    def __init__(self, endpoint: "Endpoint", peer: Address, setup_cost: float = 0.0) -> None:
+        self.endpoint = endpoint
+        self.peer = peer
+        self.setup_cost = setup_cost
+        self.opened_at = endpoint.scheduler.now
+        self.last_activity = self.opened_at
+        #: Earliest virtual time a reply may leave this connection.
+        self.ready_at = self.opened_at + setup_cost
+        self.requests_received = 0
+        self.replies_sent = 0
+        self.replies_dropped = 0
+        self._next_seq = 0
+        self._next_to_send = 0
+        #: seq -> payload bytes (or None for "no reply"), resolved but unsent.
+        self._resolved: dict[int, bytes | None] = {}
+        #: Latest scheduled arrival time of anything sent on this connection.
+        self._last_arrival = 0.0
+
+    # -- request numbering --------------------------------------------------
+
+    def begin_request(self) -> int:
+        """Allocate the FIFO slot for a newly arrived request."""
+        seq = self._next_seq
+        self._next_seq += 1
+        self.requests_received += 1
+        self.last_activity = self.endpoint.scheduler.now
+        return seq
+
+    @property
+    def in_flight(self) -> int:
+        """Requests whose replies have not been sent (or skipped) yet."""
+        return self._next_seq - self._next_to_send
+
+    # -- reply path ---------------------------------------------------------
+
+    def resolve(self, seq: int, payload: bytes | None) -> None:
+        """Provide the reply payload for slot ``seq`` (``None`` = no reply).
+
+        The payload is transmitted once every earlier slot has been resolved
+        and the connection's ``ready_at`` handshake gate has passed.
+        """
+        if seq in self._resolved or seq >= self._next_seq or seq < self._next_to_send:
+            raise TransportError(
+                f"connection {self.peer} slot {seq} resolved twice or out of range"
+            )
+        self._resolved[seq] = payload
+        self._flush()
+
+    def _flush(self) -> None:
+        scheduler = self.endpoint.scheduler
+        while self._next_to_send in self._resolved:
+            now = scheduler.now
+            if now < self.ready_at:
+                scheduler.schedule(
+                    self.ready_at - now,
+                    self._flush,
+                    label=f"{self.endpoint.name} handshake gate for {self.peer}",
+                )
+                return
+            payload = self._resolved.pop(self._next_to_send)
+            self._next_to_send += 1
+            if payload is None:
+                continue
+            self._transmit(payload)
+
+    def _transmit(self, payload: bytes) -> None:
+        endpoint = self.endpoint
+        latency = endpoint.host.network.link_latency(endpoint.host.name, self.peer.host)
+        self._last_arrival = _send_in_order(
+            endpoint.scheduler,
+            latency.one_way_delay(len(payload)),
+            self._last_arrival,
+            lambda: self._send_now(payload),
+            label=f"{endpoint.name} in-order send to {self.peer}",
+        )
+
+    def _send_now(self, payload: bytes) -> None:
+        endpoint = self.endpoint
+        if not endpoint.running:
+            # The endpoint was stopped while this reply was pending: sending
+            # through an unbound port would be a protocol violation, so the
+            # reply is dropped and accounted for instead.
+            self.replies_dropped += 1
+            endpoint.stats.replies_dropped += 1
+            return
+        endpoint.host.send(self.peer, payload, source_port=endpoint.port)
+        self.replies_sent += 1
+        endpoint.stats.replies_sent += 1
+        self.last_activity = endpoint.scheduler.now
+
+    def __repr__(self) -> str:
+        return (
+            f"Connection({self.peer}, in_flight={self.in_flight}, "
+            f"sent={self.replies_sent}, dropped={self.replies_dropped})"
+        )
+
+
+class Endpoint:
+    """A server-side request/reply endpoint on the simulated network.
+
+    The endpoint owns the port binding and the dispatch loop: every incoming
+    message is assigned to its peer's :class:`Connection`, handed to the
+    protocol ``handler`` and answered through the connection's ordered reply
+    path.  The handler receives ``(message, connection)`` and returns a
+    :data:`ReplyOutcome`; protocol-level parsing, routing and encoding stay in
+    the protocol servers (HTTP, GIOP) built on top.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        port: int,
+        handler: Callable[[Message, Connection], ReplyOutcome],
+        name: str = "endpoint",
+        charge_connection_setup: bool = False,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.name = name
+        self.handler = handler
+        #: When enabled, a new connection pays a handshake of one round trip
+        #: on its link (SYN + SYN-ACK) before its first reply may leave.
+        self.charge_connection_setup = charge_connection_setup
+        self.stats = TransportStats()
+        self._connections: dict[Address, Connection] = {}
+        self._running = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind the port and begin dispatching."""
+        if self._running:
+            return
+        self.host.bind(self.port, self._on_message)
+        self._running = True
+
+    def stop(self) -> None:
+        """Unbind the port; late replies are dropped and counted.
+
+        A dropped reply leaves the requester's keep-alive connection owing
+        one response, exactly like a dead HTTP/1.1 server socket: the
+        requester's next blocking call on that connection fails and resets
+        it (see :meth:`ClientChannel.request`).
+        """
+        if not self._running:
+            return
+        self.host.unbind(self.port)
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        """True while the endpoint is bound to its port."""
+        return self._running
+
+    @property
+    def scheduler(self):
+        """The event scheduler driving this endpoint's network."""
+        return self.host.network.scheduler
+
+    @property
+    def address(self) -> Address:
+        """The network address this endpoint listens on."""
+        return Address(self.host.name, self.port)
+
+    # -- connections --------------------------------------------------------
+
+    @property
+    def connections(self) -> tuple[Connection, ...]:
+        """All connections ever opened, in open order."""
+        return tuple(self._connections.values())
+
+    def connection_for(self, peer: Address) -> Connection:
+        """Return (opening if necessary) the connection for ``peer``."""
+        connection = self._connections.get(peer)
+        if connection is not None:
+            self.stats.connections_reused += 1
+            return connection
+        setup_cost = 0.0
+        if self.charge_connection_setup:
+            latency = self.host.network.link_latency(peer.host, self.host.name)
+            setup_cost = 2.0 * latency.one_way_delay(0)
+        connection = Connection(self, peer, setup_cost=setup_cost)
+        self._connections[peer] = connection
+        self.stats.connections_opened += 1
+        return connection
+
+    # -- dispatch loop ------------------------------------------------------
+
+    def _on_message(self, message: Message, host: Host) -> None:
+        self.stats.requests_received += 1
+        connection = self.connection_for(message.source)
+        seq = connection.begin_request()
+        try:
+            outcome = self.handler(message, connection)
+        except BaseException:
+            # The protocol handler crashed without producing a reply.  Its
+            # FIFO slot must still be released — a permanently unresolved
+            # slot would withhold every later reply on this connection.
+            self.stats.handler_errors += 1
+            connection.resolve(seq, None)
+            raise
+        self._settle(connection, seq, outcome)
+
+    def _settle(self, connection: Connection, seq: int, outcome: ReplyOutcome) -> None:
+        if outcome is None:
+            connection.resolve(seq, None)
+            return
+        if isinstance(outcome, Deferred):
+            outcome.subscribe(
+                lambda payload, error, delay: self._settle_resolved(
+                    connection, seq, payload, error, delay
+                )
+            )
+            return
+        if isinstance(outcome, tuple):
+            payload, delay = outcome
+            self._settle_resolved(connection, seq, payload, None, delay)
+            return
+        connection.resolve(seq, outcome)
+
+    def _settle_resolved(
+        self,
+        connection: Connection,
+        seq: int,
+        payload: bytes | None,
+        error: BaseException | None,
+        delay: float,
+    ) -> None:
+        if error is not None:
+            # A wire-level deferred must encode faults into payloads before
+            # resolution; an unencoded error means the protocol layer chose
+            # to drop the reply.
+            connection.resolve(seq, None)
+            return
+        if delay > 0:
+            self.scheduler.schedule(
+                delay,
+                connection.resolve,
+                seq,
+                payload,
+                label=f"{self.name} processing for {connection.peer}",
+            )
+            return
+        connection.resolve(seq, payload)
+
+    def __repr__(self) -> str:
+        state = "running" if self._running else "stopped"
+        return (
+            f"Endpoint({self.host.name}:{self.port}, {state}, "
+            f"connections={len(self._connections)})"
+        )
+
+
+class RouteTable(Generic[T]):
+    """Exact-match routing in O(1) with ordered prefix fallback.
+
+    Exact routes are stored in a dict keyed by an arbitrary hashable routing
+    key (the HTTP server uses ``(method, path)``); prefix routes are scanned
+    in registration order, matching the servlet-container behaviour the paper
+    builds on.
+    """
+
+    def __init__(self) -> None:
+        self._exact: dict[Hashable, T] = {}
+        self._prefix: list[tuple[Hashable, str, T]] = []
+
+    def add_exact(self, key: Hashable, value: T) -> None:
+        """Register ``value`` under an exact-match key.
+
+        The first registration of a key wins, matching the registration-order
+        scan this table replaces.
+        """
+        self._exact.setdefault(key, value)
+
+    def add_prefix(self, key: Hashable, prefix: str, value: T) -> None:
+        """Register a prefix route; ``key`` scopes it (e.g. the method)."""
+        self._prefix.append((key, prefix, value))
+
+    def remove(self, value: T) -> None:
+        """Remove every registration of ``value``; unknown values are a no-op."""
+        self._exact = {key: v for key, v in self._exact.items() if v is not value}
+        self._prefix = [entry for entry in self._prefix if entry[2] is not value]
+
+    def lookup(
+        self, key: Hashable, prefix_scope: Hashable = None, path: str | None = None
+    ) -> T | None:
+        """Exact lookup on ``key``, then prefix scan against ``path``.
+
+        Prefix routes are consulted only when their scope (e.g. the HTTP
+        method) equals ``prefix_scope``, in registration order.
+        """
+        value = self._exact.get(key)
+        if value is not None:
+            return value
+        if path is not None:
+            for scope, prefix, candidate in self._prefix:
+                if scope == prefix_scope and path.startswith(prefix):
+                    return candidate
+        return None
+
+    @property
+    def exact_count(self) -> int:
+        """Number of exact-match registrations."""
+        return len(self._exact)
+
+    @property
+    def prefix_count(self) -> int:
+        """Number of prefix registrations."""
+        return len(self._prefix)
+
+    def __repr__(self) -> str:
+        return f"RouteTable(exact={len(self._exact)}, prefix={len(self._prefix)})"
+
+
+class _ClientConnection:
+    """One client-side connection: a persistent source port to one peer."""
+
+    def __init__(self, channel: "ClientChannel", destination: Address, port: int) -> None:
+        self.channel = channel
+        self.destination = destination
+        self.port = port
+        self.requests_sent = 0
+        self.replies_received = 0
+        self.unsolicited_replies = 0
+        #: FIFO queue of pending ``(parse, deferred)`` expectations.
+        self._expectations: list[tuple[Callable[[Message], Any], Deferred]] = []
+        #: Latest scheduled arrival time of anything sent on this connection.
+        self._last_arrival = 0.0
+        channel.host.bind(port, self._on_message)
+
+    def send(self, payload: bytes, parse: Callable[[Message], T], deferred: Deferred) -> None:
+        """Transmit ``payload`` and expect (in FIFO order) one reply for it.
+
+        Like the server side, the connection behaves as a byte stream: a
+        pipelined request is held back just long enough that it cannot
+        overtake the previous one in flight.
+        """
+        self._expectations.append((parse, deferred))
+        self.requests_sent += 1
+        host = self.channel.host
+        latency = host.network.link_latency(host.name, self.destination.host)
+        self._last_arrival = _send_in_order(
+            self.channel.scheduler,
+            latency.one_way_delay(len(payload)),
+            self._last_arrival,
+            lambda: self._send_now(payload),
+            label=f"{self.channel.name} in-order send to {self.destination}",
+        )
+
+    def _send_now(self, payload: bytes) -> None:
+        self.channel.host.send(self.destination, payload, source_port=self.port)
+
+    def close(self) -> None:
+        """Release the source port; pending expectations are abandoned.
+
+        A port still owed replies is tombstoned rather than freed, so a
+        late reply is dropped and counted instead of crashing delivery.
+        """
+        if self._expectations:
+            self._expectations.clear()
+            self.channel._tombstone_port(self.port)
+        else:
+            self.channel.host.unbind(self.port)
+
+    def reset(self) -> int:
+        """Abandon every pending expectation, returning how many there were.
+
+        A keep-alive client that sees a request error cannot trust FIFO
+        correlation for the replies it is still owed, so it resets the
+        connection — the simulated analogue of closing and reopening the
+        socket.  The source port is rotated too: a reply to an abandoned
+        request that is still in flight lands on the old port's tombstone
+        (counted, dropped — a closed socket answering with RST) instead of
+        being mis-correlated with the connection's next request.
+        """
+        abandoned = len(self._expectations)
+        self._expectations.clear()
+        self.channel._tombstone_port(self.port)
+        self.port = self.channel._allocate_port()
+        self.channel.host.bind(self.port, self._on_message)
+        return abandoned
+
+    def _on_message(self, message: Message, _host: Host) -> None:
+        if not self._expectations:
+            self.unsolicited_replies += 1
+            return
+        parse, deferred = self._expectations.pop(0)
+        self.replies_received += 1
+        try:
+            deferred.complete(parse(message))
+        except BaseException as exc:  # noqa: BLE001 - parse errors fail the call
+            deferred.fail(exc)
+
+    def __repr__(self) -> str:
+        return (
+            f"_ClientConnection(:{self.port} -> {self.destination}, "
+            f"in_flight={len(self._expectations)})"
+        )
+
+
+class ClientChannel:
+    """Client-side request issuing with persistent per-destination connections.
+
+    Replaces the per-request ephemeral-port pattern: the first request to a
+    destination opens a connection (binds one source port); subsequent
+    requests reuse it, which is what lets server endpoints account for
+    keep-alive.  Replies are correlated FIFO per connection — exactly the
+    guarantee the server-side :class:`Connection` provides.
+    """
+
+    def __init__(self, host: Host, base_port: int = 49152, name: str = "channel") -> None:
+        self.host = host
+        self.name = name
+        self.requests_sent = 0
+        self.replies_received = 0
+        #: Replies that arrived for an abandoned (reset/closed) request.
+        self.late_replies_dropped = 0
+        self._next_port = base_port
+        self._connections: dict[Address, _ClientConnection] = {}
+
+    @property
+    def scheduler(self):
+        """The event scheduler driving this channel's network."""
+        return self.host.network.scheduler
+
+    @property
+    def connections(self) -> tuple[_ClientConnection, ...]:
+        """All open connections, in open order."""
+        return tuple(self._connections.values())
+
+    def connection_for(self, destination: Address) -> _ClientConnection:
+        """Return (opening if necessary) the connection to ``destination``."""
+        connection = self._connections.get(destination)
+        if connection is None:
+            connection = _ClientConnection(self, destination, self._allocate_port())
+            self._connections[destination] = connection
+        return connection
+
+    def request_async(
+        self,
+        destination: Address,
+        payload: bytes,
+        parse: Callable[[Message], T],
+        description: str = "request",
+    ) -> Deferred[T]:
+        """Send ``payload`` and return a deferred for the parsed reply."""
+        deferred: Deferred[T] = Deferred(description)
+        connection = self.connection_for(destination)
+
+        def guarded(message: Message) -> T:
+            self.replies_received += 1
+            return parse(message)
+
+        connection.send(payload, guarded, deferred)
+        self.requests_sent += 1
+        return deferred
+
+    def request(
+        self,
+        destination: Address,
+        payload: bytes,
+        parse: Callable[[Message], T],
+        description: str = "request",
+    ) -> T:
+        """Blocking request: drive the scheduler until the reply arrives.
+
+        If the request errors (connection refused, dead server, parse
+        failure), the connection is reset so a stale FIFO expectation cannot
+        mis-correlate the next reply on it.
+        """
+        deferred = self.request_async(destination, payload, parse, description)
+        try:
+            return deferred.wait(self.scheduler)
+        except BaseException:
+            self.reset(destination)
+            raise
+
+    def reset(self, destination: Address) -> int:
+        """Abandon the connection's pending expectations after a failure.
+
+        Returns how many expectations were dropped (0 when no connection to
+        ``destination`` exists).  Blocking callers that unwind with an error
+        must call this so a stale FIFO expectation cannot mis-correlate the
+        connection's next reply.
+        """
+        connection = self._connections.get(destination)
+        return connection.reset() if connection is not None else 0
+
+    def close(self) -> None:
+        """Close every connection and release (or tombstone) their ports.
+
+        Port numbers keep advancing monotonically across close/reopen so a
+        reply still in flight to an old connection can never reach a new
+        connection that happens to reuse its number.
+        """
+        for connection in self._connections.values():
+            connection.close()
+        self._connections.clear()
+
+    def _tombstone_port(self, port: int) -> None:
+        """Rebind ``port`` to a sink that counts and drops late replies."""
+        self.host.unbind(port)
+
+        def drop(message: Message, _host: Host) -> None:
+            self.late_replies_dropped += 1
+
+        self.host.bind(port, drop)
+
+    def _allocate_port(self) -> int:
+        while self.host.is_bound(self._next_port):
+            self._next_port += 1
+        port = self._next_port
+        self._next_port += 1
+        return port
+
+    def __repr__(self) -> str:
+        return (
+            f"ClientChannel(host={self.host.name!r}, "
+            f"connections={len(self._connections)}, sent={self.requests_sent})"
+        )

@@ -15,9 +15,10 @@ from typing import Any, Callable, Iterable
 
 from repro.core.cde import ClientDevelopmentEnvironment, DynamicClientBinding
 from repro.core.sde import SDEConfig, SDEManager, SDEManagerInterface
+from repro.errors import HostNotFoundError
 from repro.interface import Parameter
 from repro.jpie import DynamicClass, DynamicInstance, JPieEnvironment
-from repro.net import LatencyModel, Network, t1_lan_profile
+from repro.net import Host, LatencyModel, Network, t1_lan_profile
 from repro.net.latency import CostModel
 from repro.rmitypes import RmiType, VOID
 from repro.sim import Scheduler
@@ -113,6 +114,33 @@ class LiveDevelopmentTestbed:
         """Let pending stability timers expire and publications complete."""
         margin = self.sde.config.publication_timeout + self.sde.config.generation_cost * 2
         self.run_for(margin + 0.001)
+
+    # -- client fleet (multi-client workloads) -------------------------------------
+
+    def add_client_host(self, name: str | None = None) -> "Host":
+        """Attach one more client machine to the network.
+
+        Used by the multi-client workload driver: the seed testbed models the
+        paper's single PowerBook, scale-out experiments attach a fleet.
+        """
+        if name is None:
+            name = f"client-{len(self.network.hosts)}"
+        return self.network.add_host(name)
+
+    def create_client_fleet(self, count: int, prefix: str = "wl-client-") -> tuple["Host", ...]:
+        """Attach ``count`` client machines named ``{prefix}1..{prefix}count``.
+
+        Machines already attached under those names are reused, so repeated
+        workload runs on one testbed share the fleet.
+        """
+        hosts = []
+        for index in range(count):
+            name = f"{prefix}{index + 1}"
+            try:
+                hosts.append(self.network.host(name))
+            except HostNotFoundError:
+                hosts.append(self.network.add_host(name))
+        return tuple(hosts)
 
     # -- client actions --------------------------------------------------------------
 

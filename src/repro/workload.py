@@ -1,0 +1,381 @@
+"""Deterministic multi-client workload driver.
+
+The paper's evaluation runs one client laptop against one SDE server; the
+north-star of this reproduction is production-scale traffic.  This module
+drives **N concurrent clients** — each its own simulated host with a
+persistent transport connection — against one managed SDE server class, for
+both middlewares, on the single-threaded discrete-event scheduler.  Clients
+are callback-driven (they use the transport layer's asynchronous request
+path rather than blocking the scheduler), so all N request streams genuinely
+interleave, and because the scheduler dispatches equal-time events in
+insertion order the whole run is deterministic: the same spec always produces
+the same per-call round-trip times.
+
+A workload can also script mid-run developer actions (edit the server class,
+force a publication) and direct a fraction of calls at a non-existent
+operation, which exercises the §5.7 stall queue under load — the report
+captures how deep the queue got and how the stalled calls drained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from repro.core.sde.corba_handler import EXC_NON_EXISTENT_METHOD, EXC_SERVER_NOT_INITIALIZED
+from repro.corba.orb import ClientOrb, RemoteObjectReference
+from repro.errors import CorbaUserException, MiddlewareError
+from repro.net.http import HttpClient
+from repro.net.simnet import Host
+from repro.net.transport import Deferred
+from repro.soap.envelope import SoapRequest, SoapResponse
+from repro.soap.wsdl import parse_wsdl
+from repro.corba.idl import parse_idl
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.testbed import LiveDevelopmentTestbed
+
+TECHNOLOGY_SOAP = "soap"
+TECHNOLOGY_CORBA = "corba"
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """What the fleet should do.
+
+    ``stale_every`` directs every *k*-th call of each client (1-based call
+    numbers divisible by *k*) at ``stale_operation`` — an operation name the
+    server does not implement — which, with reactive publication enabled and
+    an unpublished edit pending, triggers the §5.7 stall protocol.
+    """
+
+    technology: str = TECHNOLOGY_SOAP
+    clients: int = 4
+    calls_per_client: int = 10
+    operation: str = "echo"
+    arguments: tuple[Any, ...] = ("ping",)
+    #: Virtual seconds a client waits between receiving a reply and issuing
+    #: its next call.
+    think_time: float = 0.0
+    #: Per-client start offset: client *i* starts at ``i * stagger``.
+    stagger: float = 0.0
+    stale_every: int | None = None
+    stale_operation: str = "no_such_operation"
+    #: ``(at_offset, action)`` pairs run at workload-relative virtual times —
+    #: scripted developer activity (class edits, forced publications).
+    scripted_events: tuple[tuple[float, Callable[[], None]], ...] = ()
+
+
+@dataclass
+class ClientResult:
+    """What one workload client observed."""
+
+    name: str
+    rtts: list[float] = field(default_factory=list)
+    successes: int = 0
+    stale_faults: int = 0
+    not_initialized_faults: int = 0
+    other_faults: int = 0
+
+    @property
+    def calls(self) -> int:
+        """Calls this client completed (successes plus faults)."""
+        return len(self.rtts)
+
+    @property
+    def mean_rtt(self) -> float:
+        """Mean round-trip time over this client's calls."""
+        return sum(self.rtts) / len(self.rtts) if self.rtts else 0.0
+
+    @property
+    def max_rtt(self) -> float:
+        """Worst round-trip time this client saw."""
+        return max(self.rtts) if self.rtts else 0.0
+
+
+@dataclass
+class WorkloadReport:
+    """Aggregate outcome of one multi-client run."""
+
+    technology: str
+    client_count: int
+    calls_per_client: int
+    started_at: float
+    finished_at: float
+    clients: list[ClientResult]
+    #: Server-side §5.7 numbers for the driven class.
+    stalled_calls: int = 0
+    queued_while_stalled: int = 0
+    max_stall_queue_depth: int = 0
+    #: Server-endpoint accounting for this run (connections this fleet
+    #: opened, replies sent to it) — earlier runs on the same testbed are
+    #: excluded.
+    server_connections: int = 0
+    server_replies_sent: int = 0
+
+    @property
+    def duration(self) -> float:
+        """Virtual seconds from first call issued to last reply received."""
+        return self.finished_at - self.started_at
+
+    @property
+    def total_calls(self) -> int:
+        """Calls completed across the whole fleet."""
+        return sum(client.calls for client in self.clients)
+
+    @property
+    def total_successes(self) -> int:
+        """Successful calls across the whole fleet."""
+        return sum(client.successes for client in self.clients)
+
+    @property
+    def total_stale_faults(self) -> int:
+        """Stale-method ("Non existent Method") faults across the fleet."""
+        return sum(client.stale_faults for client in self.clients)
+
+    @property
+    def all_rtts(self) -> list[float]:
+        """Every observed RTT, grouped by client in start order."""
+        return [rtt for client in self.clients for rtt in client.rtts]
+
+    @property
+    def mean_rtt(self) -> float:
+        """Fleet-wide mean round-trip time."""
+        rtts = self.all_rtts
+        return sum(rtts) / len(rtts) if rtts else 0.0
+
+    @property
+    def max_rtt(self) -> float:
+        """Fleet-wide worst round-trip time."""
+        rtts = self.all_rtts
+        return max(rtts) if rtts else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Completed calls per virtual second."""
+        return self.total_calls / self.duration if self.duration > 0 else 0.0
+
+
+class _WorkloadClient:
+    """One callback-driven client of the fleet."""
+
+    def __init__(self, driver: "MultiClientWorkload", index: int, host: Host) -> None:
+        self.driver = driver
+        self.index = index
+        self.host = host
+        self.result = ClientResult(name=host.name)
+        self.http = HttpClient(host, name=f"wl-http-{index}")
+        self.orb: ClientOrb | None = None
+        self.remote: RemoteObjectReference | None = None
+        self.description = None
+        self.registry = None
+        self._calls_issued = 0
+
+    # -- setup (blocking; runs before the measured window) -------------------
+
+    def prepare(self) -> None:
+        """Fetch and parse the published interface documents."""
+        publisher = self.driver.publisher
+        document = self._fetch(publisher.document_url)
+        if self.driver.spec.technology == TECHNOLOGY_SOAP:
+            self.description = parse_wsdl(document)
+            self.registry = self.description.type_registry()
+        else:
+            self.description = parse_idl(document)
+            self.orb = ClientOrb(self.host)
+            ior_text = self._fetch(publisher.ior_url)
+            self.remote = self.orb.string_to_object(ior_text.strip())
+
+    def _fetch(self, url: str) -> str:
+        response = self.http.get(url)
+        if not response.ok:
+            raise MiddlewareError(f"could not retrieve {url}: HTTP {response.status}")
+        return response.body
+
+    # -- the call loop --------------------------------------------------------
+
+    def start(self) -> None:
+        """Issue this client's first call."""
+        self._next_call()
+
+    def _next_call(self) -> None:
+        spec = self.driver.spec
+        if self._calls_issued >= spec.calls_per_client:
+            self.driver._client_finished()
+            return
+        self._calls_issued += 1
+        call_number = self._calls_issued
+        operation, arguments = spec.operation, spec.arguments
+        if spec.stale_every and call_number % spec.stale_every == 0:
+            operation, arguments = spec.stale_operation, ()
+        started = self.driver.scheduler.now
+        deferred = self._send(operation, arguments)
+        deferred.subscribe(lambda value, error, _delay: self._on_reply(started, value, error))
+
+    def _send(self, operation: str, arguments: tuple[Any, ...]) -> Deferred:
+        if self.driver.spec.technology == TECHNOLOGY_CORBA:
+            return self.remote.invoke_async(operation, *arguments)
+        request = SoapRequest.for_call(
+            operation, arguments, namespace=self.description.namespace, registry=self.registry
+        )
+        wire = self.http.request_async(
+            "POST",
+            self.description.endpoint_url,
+            body=request.to_xml(),
+            headers={"Content-Type": "text/xml; charset=utf-8"},
+        )
+        return wire.transform(self._decode_soap)
+
+    def _decode_soap(self, response, error):
+        if error is not None:
+            raise error
+        if not response.ok:
+            raise MiddlewareError(f"SOAP endpoint returned HTTP {response.status}")
+        return SoapResponse.from_xml(response.body, self.registry)
+
+    def _on_reply(self, started: float, value: Any, error: BaseException | None) -> None:
+        self.result.rtts.append(self.driver.scheduler.now - started)
+        self._classify(value, error)
+        think = self.driver.spec.think_time
+        if think > 0:
+            self.driver.scheduler.schedule(
+                think, self._next_call, label=f"{self.result.name} think time"
+            )
+        else:
+            self._next_call()
+
+    def _classify(self, value: Any, error: BaseException | None) -> None:
+        result = self.result
+        if self.driver.spec.technology == TECHNOLOGY_CORBA:
+            if error is None:
+                result.successes += 1
+            elif isinstance(error, CorbaUserException) and error.type_name == EXC_NON_EXISTENT_METHOD:
+                result.stale_faults += 1
+            elif isinstance(error, CorbaUserException) and error.type_name == EXC_SERVER_NOT_INITIALIZED:
+                result.not_initialized_faults += 1
+            else:
+                result.other_faults += 1
+            return
+        if error is not None:
+            result.other_faults += 1
+            return
+        if not value.is_fault:
+            result.successes += 1
+        elif value.fault.is_non_existent_method:
+            result.stale_faults += 1
+        elif value.fault.is_server_not_initialized:
+            result.not_initialized_faults += 1
+        else:
+            result.other_faults += 1
+
+
+class MultiClientWorkload:
+    """Run N concurrent clients against one managed SDE server class."""
+
+    def __init__(
+        self,
+        testbed: "LiveDevelopmentTestbed",
+        class_name: str,
+        spec: WorkloadSpec,
+        client_hosts: Iterable[Host] | None = None,
+    ) -> None:
+        if spec.technology not in (TECHNOLOGY_SOAP, TECHNOLOGY_CORBA):
+            raise ValueError(f"unknown technology {spec.technology!r}")
+        self.testbed = testbed
+        self.class_name = class_name
+        self.spec = spec
+        self.server = testbed.sde.managed_server(class_name)
+        hosts = (
+            tuple(client_hosts)
+            if client_hosts is not None
+            else testbed.create_client_fleet(spec.clients)
+        )
+        if len(hosts) != spec.clients:
+            raise ValueError(f"expected {spec.clients} client hosts, got {len(hosts)}")
+        self.clients = [_WorkloadClient(self, i, host) for i, host in enumerate(hosts)]
+        self._finished_clients = 0
+
+    @property
+    def scheduler(self):
+        """The testbed's event scheduler."""
+        return self.testbed.scheduler
+
+    @property
+    def publisher(self):
+        """The driven server's interface publisher."""
+        return self.server.publisher
+
+    @property
+    def handler(self):
+        """The driven server's call handler."""
+        return self.server.call_handler
+
+    def run(self) -> WorkloadReport:
+        """Prepare the fleet, run it to completion, and report."""
+        for client in self.clients:
+            client.prepare()
+
+        stats_before = _snapshot(self.handler.stats)
+        endpoint = self._server_endpoint()
+        replies_before = endpoint.stats.replies_sent
+        connections_before = len(endpoint.connections)
+        # max is not delta-able like the counters: measure this run's high
+        # water with a clean gauge, then restore the lifetime maximum.
+        self.handler.stats.max_stall_queue_depth = 0
+        started_at = self.scheduler.now
+        for offset, action in self.spec.scripted_events:
+            self.scheduler.schedule(offset, action, label="workload scripted event")
+        for index, client in enumerate(self.clients):
+            self.scheduler.schedule(
+                index * self.spec.stagger, client.start, label=f"{client.result.name} start"
+            )
+        self.scheduler.run_until(
+            lambda: self._finished_clients == len(self.clients),
+            description=f"workload against {self.class_name}",
+        )
+        finished_at = self.scheduler.now
+
+        handler_stats = self.handler.stats
+        run_max_depth = handler_stats.max_stall_queue_depth
+        handler_stats.max_stall_queue_depth = max(
+            run_max_depth, stats_before["max_stall_queue_depth"]
+        )
+        return WorkloadReport(
+            technology=self.spec.technology,
+            client_count=self.spec.clients,
+            calls_per_client=self.spec.calls_per_client,
+            started_at=started_at,
+            finished_at=finished_at,
+            clients=[client.result for client in self.clients],
+            stalled_calls=handler_stats.stalled_calls - stats_before["stalled_calls"],
+            queued_while_stalled=(
+                handler_stats.queued_while_stalled - stats_before["queued_while_stalled"]
+            ),
+            max_stall_queue_depth=run_max_depth,
+            server_connections=len(endpoint.connections) - connections_before,
+            server_replies_sent=endpoint.stats.replies_sent - replies_before,
+        )
+
+    def _server_endpoint(self):
+        handler = self.handler
+        if self.spec.technology == TECHNOLOGY_SOAP:
+            return handler.http_server.endpoint
+        return handler.orb.endpoint
+
+    def _client_finished(self) -> None:
+        self._finished_clients += 1
+
+
+def _snapshot(stats) -> dict[str, int]:
+    return {
+        "stalled_calls": stats.stalled_calls,
+        "queued_while_stalled": stats.queued_while_stalled,
+        "max_stall_queue_depth": stats.max_stall_queue_depth,
+    }
+
+
+def run_workload(
+    testbed: "LiveDevelopmentTestbed", class_name: str, spec: WorkloadSpec
+) -> WorkloadReport:
+    """Convenience wrapper: build and run a workload in one call."""
+    return MultiClientWorkload(testbed, class_name, spec).run()

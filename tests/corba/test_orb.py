@@ -232,3 +232,40 @@ class TestDii:
         request = DiiRequest(reference, "add", [1, 2])
         with pytest.raises(CorbaError):
             _ = request.result
+
+
+class TestConnectionRecovery:
+    def test_invoke_recovers_after_server_restart(self, network, scheduler):
+        """A failed call (dead server) resets the client connection, so the
+        next call after a restart correlates correctly instead of matching
+        the dead call's stale FIFO expectation."""
+        orb, client_orb, _servant = build_static_world(network)
+        reference = client_orb.object_for(orb.object_reference("Calculator"))
+        assert reference.invoke("add", 1, 2) == 3
+
+        orb.stop()
+        with pytest.raises(Exception):
+            reference.invoke("add", 3, 4)
+
+        orb.start()
+        assert reference.invoke("add", 3, 4) == 7
+
+    def test_user_exception_keeps_connection_usable(self, network, scheduler):
+        orb, client_orb, _servant = build_static_world(network)
+        reference = client_orb.object_for(orb.object_reference("Calculator"))
+        with pytest.raises(CorbaUserException):
+            reference.invoke("fail", "nope")
+        assert reference.invoke("add", 2, 2) == 4
+
+    def test_unmarshallable_result_becomes_system_exception(self, network, scheduler):
+        """A servant result the CDR layer cannot encode still yields a GIOP
+        reply (and leaves the connection usable) instead of hanging."""
+        orb, client_orb, servant = build_static_world(network)
+        servant.register(
+            OperationSignature("weird", (), STRING),
+            lambda: object(),
+        )
+        reference = client_orb.object_for(orb.object_reference("Calculator"))
+        with pytest.raises(CorbaSystemException):
+            reference.invoke("weird")
+        assert reference.invoke("add", 1, 1) == 2

@@ -1,0 +1,243 @@
+"""Tests for the multi-client workload driver and the scale-out experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.multi_client import (
+    SCENARIO_STALE_STORM,
+    format_scaling,
+    run_multi_client,
+)
+from repro.rmitypes import STRING, VOID
+from repro.testbed import LiveDevelopmentTestbed, OperationSpec
+from repro.workload import WorkloadSpec, run_workload
+
+
+def _echo_testbed(technology: str) -> tuple[LiveDevelopmentTestbed, object]:
+    testbed = LiveDevelopmentTestbed()
+    create = (
+        testbed.create_soap_server if technology == "soap" else testbed.create_corba_server
+    )
+    dynamic_class, _ = create(
+        "EchoService",
+        [OperationSpec("echo", (("m", STRING),), STRING, body=lambda _self, m: m)],
+    )
+    testbed.publish_now("EchoService")
+    return testbed, dynamic_class
+
+
+class TestClientFleet:
+    def test_create_client_fleet_names_and_count(self):
+        testbed, _ = _echo_testbed("soap")
+        fleet = testbed.create_client_fleet(3)
+        assert [host.name for host in fleet] == ["wl-client-1", "wl-client-2", "wl-client-3"]
+        assert all(host.network is testbed.network for host in fleet)
+
+    def test_add_client_host_auto_names(self):
+        testbed, _ = _echo_testbed("soap")
+        host = testbed.add_client_host()
+        assert host.name.startswith("client-")
+
+
+class TestWorkloadSteadyState:
+    @pytest.mark.parametrize("technology", ["soap", "corba"])
+    def test_all_calls_succeed(self, technology):
+        testbed, _ = _echo_testbed(technology)
+        report = run_workload(
+            testbed,
+            "EchoService",
+            WorkloadSpec(technology=technology, clients=6, calls_per_client=4),
+        )
+        assert report.total_calls == 24
+        assert report.total_successes == 24
+        assert report.total_stale_faults == 0
+        assert report.duration > 0
+        assert report.mean_rtt > 0
+        assert report.throughput > 0
+
+    @pytest.mark.parametrize("technology", ["soap", "corba"])
+    def test_one_keepalive_connection_per_client(self, technology):
+        testbed, _ = _echo_testbed(technology)
+        report = run_workload(
+            testbed,
+            "EchoService",
+            WorkloadSpec(technology=technology, clients=5, calls_per_client=3),
+        )
+        assert report.server_connections == 5
+        assert report.server_replies_sent == 15
+
+    def test_per_client_results_recorded(self):
+        testbed, _ = _echo_testbed("soap")
+        report = run_workload(
+            testbed,
+            "EchoService",
+            WorkloadSpec(technology="soap", clients=3, calls_per_client=2),
+        )
+        assert len(report.clients) == 3
+        for client in report.clients:
+            assert client.calls == 2
+            assert client.successes == 2
+            assert client.mean_rtt > 0
+            assert client.max_rtt >= client.mean_rtt
+
+    def test_think_time_stretches_duration(self):
+        testbed_fast, _ = _echo_testbed("soap")
+        fast = run_workload(
+            testbed_fast,
+            "EchoService",
+            WorkloadSpec(technology="soap", clients=2, calls_per_client=3),
+        )
+        testbed_slow, _ = _echo_testbed("soap")
+        slow = run_workload(
+            testbed_slow,
+            "EchoService",
+            WorkloadSpec(
+                technology="soap", clients=2, calls_per_client=3, think_time=1.0
+            ),
+        )
+        assert slow.duration > fast.duration + 1.5
+
+
+class TestWorkloadDeterminism:
+    @pytest.mark.parametrize("technology", ["soap", "corba"])
+    def test_identical_runs_produce_identical_rtts(self, technology):
+        def run_once():
+            testbed, dynamic_class = _echo_testbed(technology)
+            spec = WorkloadSpec(
+                technology=technology,
+                clients=8,
+                calls_per_client=4,
+                stale_every=4,
+                think_time=0.05,
+                scripted_events=(
+                    (
+                        0.0,
+                        lambda: dynamic_class.add_method(
+                            "added_later", (), VOID, distributed=True
+                        ),
+                    ),
+                ),
+            )
+            return run_workload(testbed, "EchoService", spec)
+
+        first, second = run_once(), run_once()
+        assert first.all_rtts == second.all_rtts
+        assert first.duration == second.duration
+        assert first.max_stall_queue_depth == second.max_stall_queue_depth
+
+
+class TestWorkloadStaleStorm:
+    @pytest.mark.parametrize("technology", ["soap", "corba"])
+    def test_stall_queue_forms_and_drains(self, technology):
+        testbed, dynamic_class = _echo_testbed(technology)
+        spec = WorkloadSpec(
+            technology=technology,
+            clients=8,
+            calls_per_client=6,
+            stale_every=3,
+            think_time=0.05,
+            scripted_events=(
+                (
+                    0.0,
+                    lambda: dynamic_class.add_method(
+                        "added_later", (), VOID, distributed=True
+                    ),
+                ),
+            ),
+        )
+        report = run_workload(testbed, "EchoService", spec)
+        # Every third of six calls per client is stale.
+        assert report.total_stale_faults == 8 * 2
+        assert report.stalled_calls > 0
+        assert report.max_stall_queue_depth > 0
+        # Everything drained: every call got an answer.
+        assert report.total_calls == 8 * 6
+        assert report.total_successes == 8 * 4
+
+
+class TestWorkloadReruns:
+    def test_max_stall_queue_depth_is_per_run(self):
+        """A later run on the same testbed must not inherit an earlier
+        run's stall-queue high-water mark."""
+        testbed, dynamic_class = _echo_testbed("soap")
+        storm = run_workload(
+            testbed,
+            "EchoService",
+            WorkloadSpec(
+                technology="soap",
+                clients=6,
+                calls_per_client=6,
+                stale_every=3,
+                think_time=0.05,
+                scripted_events=(
+                    (
+                        0.0,
+                        lambda: dynamic_class.add_method(
+                            "added_later", (), VOID, distributed=True
+                        ),
+                    ),
+                ),
+            ),
+        )
+        assert storm.max_stall_queue_depth > 0
+        testbed.settle()
+
+        steady = run_workload(
+            testbed,
+            "EchoService",
+            WorkloadSpec(technology="soap", clients=6, calls_per_client=3),
+        )
+        assert steady.max_stall_queue_depth == 0
+        # The lifetime maximum on the handler stats survives for observers.
+        handler = testbed.sde.managed_server("EchoService").call_handler
+        assert handler.stats.max_stall_queue_depth == storm.max_stall_queue_depth
+        # Endpoint accounting is per run too, not lifetime.
+        assert steady.server_replies_sent == 6 * 3
+        assert steady.server_connections == 6
+
+
+class TestScalingExperiment:
+    @pytest.mark.parametrize("technology", ["soap", "corba"])
+    def test_steady_scenario_summary(self, technology):
+        result = run_multi_client(technology, clients=4, calls_per_client=3)
+        assert result.total_calls == 12
+        assert result.server_connections == 4
+        assert result.stalled_calls == 0
+
+    def test_stale_storm_scenario_stalls(self):
+        result = run_multi_client(
+            "soap", clients=6, calls_per_client=6, scenario=SCENARIO_STALE_STORM
+        )
+        assert result.stalled_calls > 0
+        assert result.max_stall_queue_depth > 0
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            run_multi_client("soap", clients=1, scenario="nope")
+
+    def test_format_scaling_renders_rows(self):
+        results = [run_multi_client("soap", clients=2, calls_per_client=2)]
+        table = format_scaling(results)
+        assert "soap" in table
+        assert "steady" in table
+
+
+class TestWorkloadValidation:
+    def test_unknown_technology_rejected(self):
+        testbed, _ = _echo_testbed("soap")
+        with pytest.raises(ValueError):
+            run_workload(testbed, "EchoService", WorkloadSpec(technology="grpc"))
+
+    def test_mismatched_fleet_rejected(self):
+        from repro.workload import MultiClientWorkload
+
+        testbed, _ = _echo_testbed("soap")
+        hosts = testbed.create_client_fleet(2)
+        with pytest.raises(ValueError):
+            MultiClientWorkload(
+                testbed,
+                "EchoService",
+                WorkloadSpec(technology="soap", clients=3),
+                client_hosts=hosts,
+            )
