@@ -2,19 +2,32 @@
 
 Drives N concurrent CDE-style clients (each its own simulated host with a
 persistent keep-alive connection) against one SDE server for both
-middlewares, scaling the fleet 1 → 64.  The wall-clock time reported by
+middlewares, scaling the fleet 1 → 512.  The wall-clock time reported by
 pytest-benchmark is the cost of *simulating* the workload; the quantities
 the scaling story cares about — mean/max simulated RTT, simulated
 throughput, §5.7 stall-queue depth — are attached to ``extra_info``.
+
+Two scaling regimes:
+
+* **uncontended** (the seed model): processing delays charged in parallel,
+  RTT stays essentially flat — this measures engine throughput;
+* **contended** (``server_cores=1`` plus the 2004-era cost model): every
+  request competes for one server CPU, so steady-state mean RTT must grow
+  monotonically with the fleet — the realistic degradation curve the
+  ROADMAP's server-CPU-contention item asked for.
 
 Also asserts the property every later scaling PR leans on: the workload is
 **deterministic** — two fresh runs of the same ≥32-client configuration
 produce identical per-call RTT sequences for both SOAP and CORBA.
 
+``REPRO_BENCH_QUICK=1`` (set by ``run_all.py --quick``) shrinks the grids.
+
 Run with:  pytest benchmarks/bench_multi_client_scaling.py --benchmark-only -s
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -24,9 +37,14 @@ from repro.experiments.multi_client import (
     run_multi_client,
     run_scaling,
 )
+from repro.net.latency import era_2004_cost_model
 
-#: Fleet sizes measured for each protocol (the acceptance floor is 32).
-CLIENT_COUNTS = (1, 8, 32, 64)
+_QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+
+#: Fleet sizes measured for each protocol (the acceptance floor is 512).
+CLIENT_COUNTS = (1, 8, 32) if _QUICK else (1, 8, 32, 64, 256, 512)
+#: Fleet sizes for the contended (bounded-CPU) sweep.
+CONTENDED_COUNTS = (1, 8, 32) if _QUICK else (1, 8, 32, 128)
 CALLS_PER_CLIENT = 5
 
 
@@ -57,6 +75,39 @@ def test_steady_scaling(benchmark, technology, clients):
     assert result.report.total_successes == result.total_calls
     # One persistent connection per client: keep-alive, not per-call churn.
     assert result.server_connections == clients
+
+
+@pytest.mark.benchmark(group="multi-client-contention")
+@pytest.mark.parametrize("technology", ["soap", "corba"])
+def test_single_core_rtt_degrades_monotonically(benchmark, technology):
+    """With one server core, steady-state mean RTT grows with the fleet.
+
+    This is the ROADMAP server-CPU-contention acceptance: per-request
+    processing delays are serialised through a bounded CPU, so the flat
+    RTT curve of the unlimited-parallelism model turns into realistic
+    queueing degradation.
+    """
+
+    def sweep():
+        return [
+            run_multi_client(
+                technology,
+                clients,
+                calls_per_client=3,
+                cost_model=era_2004_cost_model(),
+                server_cores=1,
+            )
+            for clients in CONTENDED_COUNTS
+        ]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rtts = [result.mean_rtt for result in results]
+    for clients, rtt in zip(CONTENDED_COUNTS, rtts):
+        benchmark.extra_info[f"mean_rtt_1core_{clients}c"] = round(rtt, 5)
+    assert all(a < b for a, b in zip(rtts, rtts[1:])), rtts
+    # Larger fleets actually queued for the CPU.
+    assert results[-1].server_waited_seconds > results[0].server_waited_seconds
+    assert all(result.server_cores == 1 for result in results)
 
 
 @pytest.mark.benchmark(group="multi-client-stall")
@@ -92,6 +143,26 @@ def test_32_clients_deterministic(benchmark, technology):
     _record(benchmark, first)
     assert first.report.all_rtts == second.report.all_rtts
     assert first.report.duration == second.report.duration
+
+
+@pytest.mark.benchmark(group="multi-client-determinism")
+@pytest.mark.parametrize("technology", ["soap", "corba"])
+def test_contended_determinism(benchmark, technology):
+    """The bounded-CPU model preserves the determinism contract."""
+
+    def run_twice():
+        kwargs = {
+            "calls_per_client": 3,
+            "cost_model": era_2004_cost_model(),
+            "server_cores": 2,
+        }
+        first = run_multi_client(technology, 32, **kwargs)
+        second = run_multi_client(technology, 32, **kwargs)
+        return first, second
+
+    first, second = benchmark.pedantic(run_twice, rounds=1, iterations=1)
+    _record(benchmark, first)
+    assert first.report.all_rtts == second.report.all_rtts
 
 
 @pytest.mark.benchmark(group="multi-client-scaling")

@@ -2,15 +2,21 @@
 
 Usage::
 
-    python benchmarks/run_all.py            # run all benchmarks
-    python benchmarks/run_all.py table1     # only files matching the substring
+    python benchmarks/run_all.py              # run all benchmarks
+    python benchmarks/run_all.py table1       # only files matching the substring
+    python benchmarks/run_all.py --quick      # small parameter grids (CI mode)
 
 Each invocation appends one record to ``BENCH_results.json`` at the repo
 root, so successive PRs accumulate a performance trajectory: wall-clock
 seconds per benchmark (the cost of simulating each experiment) plus every
 ``extra_info`` quantity the benchmarks attach (simulated RTTs, throughput,
 stall-queue depths).  Future PRs diff the latest record against earlier ones
-to spot regressions.
+to spot regressions — and this runner already warns when a benchmark's
+wall-clock time regresses against the previous comparable run.
+
+``--quick`` exports ``REPRO_BENCH_QUICK=1``; parameter-heavy benchmarks read
+it at collection time and shrink their grids (fewer fleet sizes, fewer
+events), which keeps the CI run to a fraction of the full sweep.
 """
 
 from __future__ import annotations
@@ -27,6 +33,11 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_DIR = REPO_ROOT / "benchmarks"
 RESULTS_PATH = REPO_ROOT / "BENCH_results.json"
 
+#: A benchmark this much slower than the previous comparable run is flagged.
+REGRESSION_FACTOR = 1.5
+#: ... unless the absolute growth is under this (timer noise on tiny runs).
+REGRESSION_MIN_DELTA_S = 0.05
+
 
 def discover(pattern: str | None = None) -> list[Path]:
     """Every benchmark file, optionally filtered by a name substring."""
@@ -36,7 +47,7 @@ def discover(pattern: str | None = None) -> list[Path]:
     return files
 
 
-def run_benchmarks(files: list[Path]) -> tuple[int, list[dict]]:
+def run_benchmarks(files: list[Path], quick: bool = False) -> tuple[int, list[dict]]:
     """Run ``files`` under pytest-benchmark; return (exit_code, records)."""
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
         json_path = Path(handle.name)
@@ -45,6 +56,10 @@ def run_benchmarks(files: list[Path]) -> tuple[int, list[dict]]:
     env["PYTHONPATH"] = src + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
+    if quick:
+        env["REPRO_BENCH_QUICK"] = "1"
+    else:
+        env.pop("REPRO_BENCH_QUICK", None)
     command = [
         sys.executable,
         "-m",
@@ -74,8 +89,8 @@ def run_benchmarks(files: list[Path]) -> tuple[int, list[dict]]:
     return completed.returncode, records
 
 
-def append_trajectory(records: list[dict], exit_code: int, files: list[Path]) -> dict:
-    """Append one run record to the trajectory file and return it."""
+def load_trajectory() -> dict:
+    """Read the trajectory file, tolerating a missing or corrupt one."""
     if RESULTS_PATH.exists():
         try:
             trajectory = json.loads(RESULTS_PATH.read_text())
@@ -84,33 +99,93 @@ def append_trajectory(records: list[dict], exit_code: int, files: list[Path]) ->
     else:
         trajectory = {"runs": []}
     trajectory.setdefault("runs", [])
+    return trajectory
 
+
+def find_regressions(records: list[dict], trajectory: dict, quick: bool) -> list[dict]:
+    """Compare each benchmark's wall clock against the previous run of it.
+
+    Only runs with the same ``quick`` mode are comparable (the grids differ),
+    and the most recent comparable appearance of each benchmark name wins.
+    """
+    previous: dict[str, float] = {}
+    for run in trajectory["runs"]:
+        if bool(run.get("quick")) != quick:
+            continue
+        for bench in run.get("benchmarks", []):
+            previous[bench["name"]] = bench["wall_clock_mean_s"]
+
+    regressions = []
+    for bench in records:
+        before = previous.get(bench["name"])
+        if before is None:
+            continue
+        now = bench["wall_clock_mean_s"]
+        if now > before * REGRESSION_FACTOR and now - before > REGRESSION_MIN_DELTA_S:
+            regressions.append(
+                {
+                    "name": bench["name"],
+                    "previous_s": round(before, 4),
+                    "current_s": round(now, 4),
+                    "factor": round(now / before, 2),
+                }
+            )
+    return regressions
+
+
+def append_trajectory(
+    records: list[dict],
+    exit_code: int,
+    files: list[Path],
+    quick: bool,
+    regressions: list[dict],
+) -> dict:
+    """Append one run record to the trajectory file and return it."""
+    trajectory = load_trajectory()
     run_record = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "files": [path.name for path in files],
         "exit_code": exit_code,
+        "quick": quick,
         "benchmarks": records,
     }
+    if regressions:
+        run_record["wall_clock_regressions"] = regressions
     trajectory["runs"].append(run_record)
     RESULTS_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
     return run_record
 
 
 def main(argv: list[str]) -> int:
-    pattern = argv[1] if len(argv) > 1 else None
+    args = argv[1:]
+    quick = "--quick" in args
+    args = [arg for arg in args if arg != "--quick"]
+    pattern = args[0] if args else None
     files = discover(pattern)
     if not files:
         print(f"no benchmark files match {pattern!r}", file=sys.stderr)
         return 2
-    print(f"running {len(files)} benchmark file(s): {', '.join(p.name for p in files)}")
-    exit_code, records = run_benchmarks(files)
-    run_record = append_trajectory(records, exit_code, files)
+    mode = " (quick grids)" if quick else ""
+    print(
+        f"running {len(files)} benchmark file(s){mode}: "
+        f"{', '.join(p.name for p in files)}"
+    )
+    trajectory_before = load_trajectory()
+    exit_code, records = run_benchmarks(files, quick=quick)
+    regressions = find_regressions(records, trajectory_before, quick)
+    run_record = append_trajectory(records, exit_code, files, quick, regressions)
     print(
         f"recorded {len(records)} benchmark(s) to {RESULTS_PATH.name} "
-        f"({len(json.loads(RESULTS_PATH.read_text())['runs'])} run(s) in trajectory)"
+        f"({len(load_trajectory()['runs'])} run(s) in trajectory)"
     )
     for bench in run_record["benchmarks"]:
         print(f"  {bench['name']}: {bench['wall_clock_mean_s']:.4f}s wall-clock")
+    for regression in regressions:
+        print(
+            f"  WARNING: {regression['name']} wall-clock regressed "
+            f"{regression['previous_s']}s -> {regression['current_s']}s "
+            f"({regression['factor']}x slower than the previous run)"
+        )
     return exit_code
 
 

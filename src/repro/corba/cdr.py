@@ -38,23 +38,49 @@ _TAG_NAMES = {
     TAG_STRUCT: "struct",
 }
 
+# Prebound big-endian packers: struct.Struct methods skip the per-call format
+# parse/lookup of module-level struct.pack, and the GIOP hot loop marshals
+# hundreds of thousands of values per fleet sweep.
+_PACK_LONG = struct.Struct(">q").pack
+_PACK_ULONG = struct.Struct(">I").pack
+_PACK_DOUBLE = struct.Struct(">d").pack
+_PACK_FLOAT = struct.Struct(">f").pack
+_UNPACK_LONG = struct.Struct(">q").unpack_from
+_UNPACK_ULONG = struct.Struct(">I").unpack_from
+_UNPACK_DOUBLE = struct.Struct(">d").unpack_from
+_UNPACK_FLOAT = struct.Struct(">f").unpack_from
+
+#: Default preallocation for output buffers; RMI argument lists and results
+#: almost always fit, so the bytearray never reallocates mid-marshal.
+_DEFAULT_BUFFER_SIZE = 256
+
 
 class CdrOutputStream:
-    """An output buffer for CDR marshalling."""
+    """An output buffer for CDR marshalling.
 
-    def __init__(self) -> None:
-        self._parts: list[bytes] = []
+    Backed by one growable ``bytearray`` (pre-sized for the common small
+    message) rather than a list of ``bytes`` fragments, so marshalling a
+    value appends in place instead of allocating a fragment per primitive
+    and joining at the end.
+    """
+
+    __slots__ = ("_buffer",)
+
+    def __init__(self, expected_size: int = _DEFAULT_BUFFER_SIZE) -> None:
+        buffer = bytearray(expected_size)
+        del buffer[:]  # keep the allocation, drop the contents
+        self._buffer = buffer
 
     # -- primitives --------------------------------------------------------
 
     def write_octet(self, value: int) -> None:
         """Write a single unsigned byte."""
-        self._parts.append(struct.pack(">B", value & 0xFF))
+        self._buffer.append(value & 0xFF)
 
     def write_long(self, value: int) -> None:
         """Write a signed 64-bit integer."""
         try:
-            self._parts.append(struct.pack(">q", value))
+            self._buffer += _PACK_LONG(value)
         except struct.error as exc:
             raise MarshalError(f"integer {value!r} does not fit in 64 bits: {exc}") from None
 
@@ -62,57 +88,63 @@ class CdrOutputStream:
         """Write an unsigned 32-bit integer (lengths, counts)."""
         if value < 0 or value > 0xFFFFFFFF:
             raise MarshalError(f"unsigned long out of range: {value!r}")
-        self._parts.append(struct.pack(">I", value))
+        self._buffer += _PACK_ULONG(value)
 
     def write_double(self, value: float) -> None:
         """Write a 64-bit IEEE double."""
-        self._parts.append(struct.pack(">d", float(value)))
+        self._buffer += _PACK_DOUBLE(float(value))
 
     def write_float(self, value: float) -> None:
         """Write a 32-bit IEEE float."""
-        self._parts.append(struct.pack(">f", float(value)))
+        self._buffer += _PACK_FLOAT(float(value))
 
     def write_boolean(self, value: bool) -> None:
         """Write a boolean octet."""
-        self.write_octet(1 if value else 0)
+        self._buffer.append(1 if value else 0)
 
     def write_string(self, value: str) -> None:
         """Write a length-prefixed UTF-8 string."""
         encoded = value.encode("utf-8")
-        self.write_ulong(len(encoded))
-        self._parts.append(encoded)
+        buffer = self._buffer
+        buffer += _PACK_ULONG(len(encoded))
+        buffer += encoded
 
     def write_bytes(self, value: bytes) -> None:
         """Write a length-prefixed byte sequence."""
-        self.write_ulong(len(value))
-        self._parts.append(value)
+        buffer = self._buffer
+        buffer += _PACK_ULONG(len(value))
+        buffer += value
 
     # -- values -------------------------------------------------------------
 
     def write_value(self, value: Any) -> None:
         """Marshal ``value`` with an inline type tag."""
+        buffer = self._buffer
         if value is None:
-            self.write_octet(TAG_NULL)
-        elif isinstance(value, bool):
-            self.write_octet(TAG_BOOLEAN)
-            self.write_boolean(value)
+            buffer.append(TAG_NULL)
+        elif value is True:
+            buffer.append(TAG_BOOLEAN)
+            buffer.append(1)
+        elif value is False:
+            buffer.append(TAG_BOOLEAN)
+            buffer.append(0)
         elif isinstance(value, int):
-            self.write_octet(TAG_INT)
+            buffer.append(TAG_INT)
             self.write_long(value)
         elif isinstance(value, float):
-            self.write_octet(TAG_DOUBLE)
-            self.write_double(value)
+            buffer.append(TAG_DOUBLE)
+            buffer += _PACK_DOUBLE(value)
         elif isinstance(value, str):
-            self.write_octet(TAG_STRING)
+            buffer.append(TAG_STRING)
             self.write_string(value)
         elif isinstance(value, (list, tuple)):
-            self.write_octet(TAG_SEQUENCE)
-            self.write_ulong(len(value))
+            buffer.append(TAG_SEQUENCE)
+            buffer += _PACK_ULONG(len(value))
             for item in value:
                 self.write_value(item)
         elif isinstance(value, dict):
-            self.write_octet(TAG_STRUCT)
-            self.write_ulong(len(value))
+            buffer.append(TAG_STRUCT)
+            buffer += _PACK_ULONG(len(value))
             for key in value:
                 if not isinstance(key, str):
                     raise MarshalError(f"struct field names must be strings, got {key!r}")
@@ -123,14 +155,20 @@ class CdrOutputStream:
 
     def getvalue(self) -> bytes:
         """Return the marshalled bytes."""
-        return b"".join(self._parts)
+        return bytes(self._buffer)
 
     def __len__(self) -> int:
-        return sum(len(part) for part in self._parts)
+        return len(self._buffer)
 
 
 class CdrInputStream:
-    """An input buffer for CDR unmarshalling."""
+    """An input buffer for CDR unmarshalling.
+
+    Reads decode in place with prebound ``unpack_from`` callables — no
+    per-read slice for fixed-width primitives.
+    """
+
+    __slots__ = ("_data", "_offset")
 
     def __init__(self, data: bytes) -> None:
         self._data = data
@@ -142,35 +180,45 @@ class CdrInputStream:
         return len(self._data) - self._offset
 
     def _take(self, count: int) -> bytes:
-        if self.remaining < count:
+        offset = self._offset
+        end = offset + count
+        if end > len(self._data):
             raise MarshalError(
                 f"unexpected end of CDR stream: wanted {count} bytes, have {self.remaining}"
             )
-        chunk = self._data[self._offset : self._offset + count]
-        self._offset += count
-        return chunk
+        self._offset = end
+        return self._data[offset:end]
+
+    def _advance(self, count: int) -> int:
+        offset = self._offset
+        if offset + count > len(self._data):
+            raise MarshalError(
+                f"unexpected end of CDR stream: wanted {count} bytes, have {self.remaining}"
+            )
+        self._offset = offset + count
+        return offset
 
     # -- primitives ----------------------------------------------------------
 
     def read_octet(self) -> int:
         """Read a single unsigned byte."""
-        return struct.unpack(">B", self._take(1))[0]
+        return self._data[self._advance(1)]
 
     def read_long(self) -> int:
         """Read a signed 64-bit integer."""
-        return struct.unpack(">q", self._take(8))[0]
+        return _UNPACK_LONG(self._data, self._advance(8))[0]
 
     def read_ulong(self) -> int:
         """Read an unsigned 32-bit integer."""
-        return struct.unpack(">I", self._take(4))[0]
+        return _UNPACK_ULONG(self._data, self._advance(4))[0]
 
     def read_double(self) -> float:
         """Read a 64-bit IEEE double."""
-        return struct.unpack(">d", self._take(8))[0]
+        return _UNPACK_DOUBLE(self._data, self._advance(8))[0]
 
     def read_float(self) -> float:
         """Read a 32-bit IEEE float."""
-        return struct.unpack(">f", self._take(4))[0]
+        return _UNPACK_FLOAT(self._data, self._advance(4))[0]
 
     def read_boolean(self) -> bool:
         """Read a boolean octet."""

@@ -48,6 +48,7 @@ from repro.net.transport import (
     Endpoint,
     ReplyOutcome,
 )
+from repro.sim.servercore import ServerCore
 
 _EPHEMERAL_BASE = 53000
 
@@ -79,6 +80,7 @@ class ServerOrb:
         speed_factor: float = 1.0,
         dynamic_dispatch_overhead: float = 0.0,
         charge_connection_setup: bool = False,
+        cores: "ServerCore | None" = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -92,6 +94,7 @@ class ServerOrb:
             self._on_request,
             name=f"orb:{host.name}:{port}",
             charge_connection_setup=charge_connection_setup,
+            cores=cores,
         )
         self.requests_handled = 0
         self.system_exceptions_sent = 0

@@ -61,6 +61,7 @@ class CorbaCallHandler(CallHandler):
             cost_model=cost_model,
             speed_factor=manager.config.speed_factor,
             dynamic_dispatch_overhead=dynamic_overhead,
+            cores=manager.server_core,
         )
 
     # -- endpoint --------------------------------------------------------------

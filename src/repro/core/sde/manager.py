@@ -44,6 +44,7 @@ from repro.jpie.listeners import ClassLoadedEvent
 from repro.net.latency import CostModel
 from repro.net.simnet import Host
 from repro.sim.scheduler import Scheduler
+from repro.sim.servercore import ServerCore
 
 
 @dataclass
@@ -75,6 +76,11 @@ class SDEConfig:
     cost_model: CostModel | None = None
     #: Relative speed of the server machine (1.0 = the calibrated baseline).
     speed_factor: float = 1.0
+    #: Number of server CPU cores shared by every managed class's endpoint.
+    #: ``None`` keeps the seed behaviour — processing delays charged in
+    #: parallel with unlimited implicit concurrency; a bound makes replies
+    #: queue under load, so RTT degrades realistically as the fleet grows.
+    server_cores: int | None = None
     #: Namespace prefix used for generated interfaces.
     namespace_prefix: str = "urn:sde"
 
@@ -109,6 +115,14 @@ class SDEManager:
         self.scheduler = scheduler
         self.host = host
         self.config = config if config is not None else SDEConfig()
+
+        #: The server machine's bounded CPU pool, shared by every managed
+        #: class's call-handler endpoint (None = unbounded, the seed model).
+        self.server_core = (
+            ServerCore(scheduler, self.config.server_cores)
+            if self.config.server_cores
+            else None
+        )
 
         self.interface_server = InterfaceServer(host, self.config.interface_port)
         self.interface_server.start()

@@ -40,7 +40,10 @@ class SoapCallHandler(CallHandler):
         super().__init__(manager, server)
         self.port = port
         self.http_server = HttpServer(
-            manager.host, port, name=f"sde-soap:{server.dynamic_class.name}"
+            manager.host,
+            port,
+            name=f"sde-soap:{server.dynamic_class.name}",
+            cores=manager.server_core,
         )
         self.http_server.add_route(self.endpoint_path, self._handle, methods=("GET", "POST"))
 

@@ -15,7 +15,7 @@ benchmark in ``benchmarks/`` (the DESIGN.md experiment index maps them):
   cost versus interface size;
 * :mod:`repro.experiments.multi_client` — E8, multi-client scale-out over
   the shared transport layer (RTT, throughput and §5.7 stall-queue depth as
-  the client fleet grows 1 → 64 for both middlewares).
+  the client fleet grows 1 → 512 for both middlewares, optionally through a bounded server-CPU model).
 """
 
 from repro.core.protocol.interleaving import run_figure7_matrix, run_figure8_matrix

@@ -3,7 +3,7 @@
 The paper evaluates one client against one SDE (Table 1).  This experiment
 asks the scaling question the reproduction's north-star cares about: what
 happens to per-call round-trip time and to the §5.7 stall queue as the
-number of concurrent clients grows 1 → 64, for both middlewares?
+number of concurrent clients grows 1 → 512, for both middlewares?
 
 Each configuration builds a fresh testbed (one SDE server host, N client
 hosts on the same latency profile), publishes an echo service, and drives
@@ -32,8 +32,8 @@ from repro.rmitypes import STRING, VOID
 from repro.testbed import LiveDevelopmentTestbed, OperationSpec
 from repro.workload import WorkloadReport, WorkloadSpec, run_workload
 
-#: Client counts swept by the scaling benchmark (1 → 64).
-DEFAULT_CLIENT_COUNTS: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64)
+#: Client counts swept by the scaling benchmark (1 → 512).
+DEFAULT_CLIENT_COUNTS: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
 
 #: The echo payload used for every measured call.
 ECHO_PAYLOAD = "hello from the client fleet"
@@ -57,6 +57,10 @@ class MultiClientResult:
     max_stall_queue_depth: int
     server_connections: int
     report: WorkloadReport
+    #: Bounded server-CPU configuration (None = unlimited parallel cores).
+    server_cores: int | None = None
+    #: Seconds requests spent queued for a server core across the run.
+    server_waited_seconds: float = 0.0
 
     @property
     def total_calls(self) -> int:
@@ -69,12 +73,17 @@ def _echo_body(_instance, message: str) -> str:
 
 
 def _build_testbed(
-    technology: str, cost_model: CostModel | None, publication_timeout: float
+    technology: str,
+    cost_model: CostModel | None,
+    publication_timeout: float,
+    server_cores: int | None = None,
 ) -> tuple[LiveDevelopmentTestbed, object]:
     testbed = LiveDevelopmentTestbed(
         cost_model=cost_model,
         sde_config=SDEConfig(
-            cost_model=cost_model, publication_timeout=publication_timeout
+            cost_model=cost_model,
+            publication_timeout=publication_timeout,
+            server_cores=server_cores,
         ),
     )
     create = (
@@ -94,12 +103,20 @@ def run_multi_client(
     calls_per_client: int = 10,
     scenario: str = SCENARIO_STEADY,
     cost_model: CostModel | None = None,
+    server_cores: int | None = None,
 ) -> MultiClientResult:
-    """Run one scale-out configuration and summarise it."""
+    """Run one scale-out configuration and summarise it.
+
+    ``server_cores`` bounds the server machine's CPU concurrency; it only
+    changes behaviour when a ``cost_model`` charges per-request processing
+    (with no cost model requests consume zero CPU and nothing contends).
+    """
     if scenario not in (SCENARIO_STEADY, SCENARIO_STALE_STORM):
         raise ValueError(f"unknown scenario {scenario!r}")
     publication_timeout = 5.0 if scenario == SCENARIO_STALE_STORM else 2.0
-    testbed, dynamic_class = _build_testbed(technology, cost_model, publication_timeout)
+    testbed, dynamic_class = _build_testbed(
+        technology, cost_model, publication_timeout, server_cores
+    )
 
     if scenario == SCENARIO_STALE_STORM:
         spec = WorkloadSpec(
@@ -138,6 +155,8 @@ def run_multi_client(
         max_stall_queue_depth=report.max_stall_queue_depth,
         server_connections=report.server_connections,
         report=report,
+        server_cores=report.server_cores,
+        server_waited_seconds=report.server_waited_seconds,
     )
 
 
@@ -147,6 +166,7 @@ def run_scaling(
     calls_per_client: int = 10,
     scenario: str = SCENARIO_STEADY,
     cost_model: CostModel | None = None,
+    server_cores: int | None = None,
 ) -> list[MultiClientResult]:
     """Sweep client counts for each technology and return all results."""
     return [
@@ -156,6 +176,7 @@ def run_scaling(
             calls_per_client=calls_per_client,
             scenario=scenario,
             cost_model=cost_model,
+            server_cores=server_cores,
         )
         for technology in technologies
         for clients in client_counts
@@ -165,13 +186,15 @@ def run_scaling(
 def format_scaling(results: list[MultiClientResult]) -> str:
     """Render scaling results as a table."""
     lines = [
-        f"{'tech':6s} {'scenario':12s} {'clients':>7s} {'mean RTT':>9s} "
+        f"{'tech':6s} {'scenario':12s} {'clients':>7s} {'cores':>5s} {'mean RTT':>9s} "
         f"{'max RTT':>9s} {'calls/s':>9s} {'stalls':>6s} {'queue':>5s}",
-        "-" * 68,
+        "-" * 74,
     ]
     for result in results:
+        cores = str(result.server_cores) if result.server_cores else "inf"
         lines.append(
             f"{result.technology:6s} {result.scenario:12s} {result.clients:7d} "
+            f"{cores:>5s} "
             f"{result.mean_rtt:9.4f} {result.max_rtt:9.4f} {result.throughput:9.1f} "
             f"{result.stalled_calls:6d} {result.max_stall_queue_depth:5d}"
         )

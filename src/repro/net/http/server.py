@@ -29,6 +29,7 @@ from repro.errors import HttpError
 from repro.net.http.messages import HttpRequest, HttpResponse, StatusCodes
 from repro.net.simnet import Address, Host, Message
 from repro.net.transport import Connection, Deferred, Endpoint, ReplyOutcome, RouteTable
+from repro.sim.servercore import ServerCore
 
 
 class DeferredHttpResponse(Deferred):
@@ -79,6 +80,7 @@ class HttpServer:
         port: int,
         name: str = "http-server",
         charge_connection_setup: bool = False,
+        cores: "ServerCore | None" = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -89,6 +91,7 @@ class HttpServer:
             self._on_request,
             name=name,
             charge_connection_setup=charge_connection_setup,
+            cores=cores,
         )
         self._routes: list[Route] = []
         self._table: RouteTable[Route] = RouteTable()

@@ -12,7 +12,7 @@ XML, GIOP) serialises to bytes before transmission, exactly as on a real wire.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Protocol
 
 from repro.errors import (
@@ -23,11 +23,10 @@ from repro.errors import (
 )
 from repro.errors import ConnectionRefusedError as SimConnectionRefusedError
 from repro.net.latency import LatencyModel, loopback_profile
-from repro.sim.scheduler import Scheduler
-from repro.util.ids import IdGenerator
+from repro.sim.scheduler import Event, Scheduler
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Address:
     """A ``(host, port)`` pair identifying a network endpoint."""
 
@@ -38,11 +37,15 @@ class Address:
         return f"{self.host}:{self.port}"
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
-    """A message in flight on the simulated network."""
+    """A message in flight on the simulated network.
 
-    message_id: str
+    ``message_id`` is a per-network sequence number (an ``int``, not a
+    formatted string — half a million of these are created per fleet sweep).
+    """
+
+    message_id: int
     source: Address
     destination: Address
     payload: bytes
@@ -165,15 +168,25 @@ class Network:
         overridden with :meth:`set_link_latency`.
     """
 
-    def __init__(self, scheduler: Scheduler, latency: LatencyModel | None = None) -> None:
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        latency: LatencyModel | None = None,
+        record_deliveries: bool = False,
+    ) -> None:
         self.scheduler = scheduler
         self.default_latency = latency if latency is not None else loopback_profile()
         self._hosts: dict[str, Host] = {}
         self._link_latency: dict[tuple[str, str], LatencyModel] = {}
         self._partitions: set[frozenset[str]] = set()
-        self._ids = IdGenerator()
+        self._next_message_id = 0
         self.stats = TrafficStats()
+        #: Full delivery log, populated only when ``record_deliveries`` is
+        #: set (it grows without bound, so large sweeps leave it off).
+        self.record_deliveries = record_deliveries
         self.delivered_messages: list[Message] = []
+        #: Most recent delivery batch: ``(arrival_time, event, messages)``.
+        self._batch: tuple[float, Event, list[Message]] | None = None
 
     # -- topology ---------------------------------------------------------
 
@@ -233,44 +246,80 @@ class Network:
         Delivery is scheduled on the event scheduler after the one-way delay
         given by the governing latency model.  Traffic into a partition is
         counted as dropped and silently discarded, mirroring packet loss.
+
+        Same-instant coalescing: when this send arrives at the exact virtual
+        time of the previous one *and* nothing else was scheduled in between,
+        the message joins the previous delivery's batch instead of costing
+        its own heap entry.  Because the batch event was the most recently
+        scheduled event, delivering the newcomer immediately after its batch
+        siblings is exactly the ``(time, insertion order)`` the scheduler
+        would have produced anyway — determinism is unchanged.
         """
         source_host = self.host(source.host)
         # Destination host must exist at send time (name resolution).
         self.host(destination.host)
 
+        size = len(payload)
+        self._next_message_id += 1
         message = Message(
-            message_id=self._ids.next("msg"),
+            message_id=self._next_message_id,
             source=source,
             destination=destination,
             payload=payload,
             sent_at=self.scheduler.now,
         )
         source_host.stats.messages_sent += 1
-        source_host.stats.bytes_sent += message.size_bytes
+        source_host.stats.bytes_sent += size
         self.stats.messages_sent += 1
-        self.stats.bytes_sent += message.size_bytes
+        self.stats.bytes_sent += size
 
-        if self.is_partitioned(source.host, destination.host):
+        if self._partitions and self.is_partitioned(source.host, destination.host):
             self.stats.messages_dropped += 1
             source_host.stats.messages_dropped += 1
             return message
 
+        scheduler = self.scheduler
         latency = self.link_latency(source.host, destination.host)
-        delay = latency.one_way_delay(message.size_bytes)
-        self.scheduler.schedule(
-            delay,
-            self._deliver,
-            message,
-            label=f"deliver {source} -> {destination}",
+        delay = latency.one_way_delay(size)
+        arrival = scheduler.clock.now + delay
+        batch = self._batch
+        if (
+            batch is not None
+            and batch[0] == arrival
+            and batch[1] is scheduler.last_event
+            and batch[1].pending
+        ):
+            batch[2].append(message)
+            return message
+        pending = [message]
+        label = (
+            f"deliver {source} -> {destination}" if scheduler.tracing else "deliver"
         )
+        event = scheduler.schedule(delay, self._deliver_batch, pending, label=label)
+        self._batch = (arrival, event, pending)
         return message
 
-    def _deliver(self, message: Message) -> None:
-        message.delivered_at = self.scheduler.now
-        self.stats.messages_received += 1
-        self.stats.bytes_received += message.size_bytes
-        self.delivered_messages.append(message)
-        self.host(message.destination.host).deliver(message)
+    def _deliver_batch(self, messages: list[Message]) -> None:
+        now = self.scheduler.now
+        stats = self.stats
+        record = self.record_deliveries
+        hosts = self._hosts
+        for index, message in enumerate(messages):
+            message.delivered_at = now
+            stats.messages_received += 1
+            stats.bytes_received += message.size_bytes
+            if record:
+                self.delivered_messages.append(message)
+            try:
+                hosts[message.destination.host].deliver(message)
+            except BaseException:
+                # A failed delivery (unbound port) aborts the run loop just
+                # as it did when every message was its own event; the rest
+                # of the batch must survive as pending deliveries.
+                rest = messages[index + 1 :]
+                if rest:
+                    self.scheduler.schedule(0.0, self._deliver_batch, rest, label="deliver")
+                raise
 
     def __repr__(self) -> str:
         return f"Network(hosts={list(self._hosts)}, sent={self.stats.messages_sent})"

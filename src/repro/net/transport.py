@@ -33,12 +33,14 @@ above and never touch raw ports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass
 from typing import Any, Callable, Generic, Hashable, TypeVar, Union
 
 from repro.errors import TransportError
 from repro.net.simnet import Address, Host, Message
 from repro.sim.latch import CompletionLatch
+from repro.sim.servercore import ServerCore
 
 T = TypeVar("T")
 
@@ -256,13 +258,18 @@ class Connection:
 
     def _transmit(self, payload: bytes) -> None:
         endpoint = self.endpoint
+        scheduler = endpoint.scheduler
         latency = endpoint.host.network.link_latency(endpoint.host.name, self.peer.host)
         self._last_arrival = _send_in_order(
-            endpoint.scheduler,
+            scheduler,
             latency.one_way_delay(len(payload)),
             self._last_arrival,
             lambda: self._send_now(payload),
-            label=f"{endpoint.name} in-order send to {self.peer}",
+            label=(
+                f"{endpoint.name} in-order send to {self.peer}"
+                if scheduler.tracing
+                else "in-order send"
+            ),
         )
 
     def _send_now(self, payload: bytes) -> None:
@@ -304,6 +311,7 @@ class Endpoint:
         handler: Callable[[Message, Connection], ReplyOutcome],
         name: str = "endpoint",
         charge_connection_setup: bool = False,
+        cores: "ServerCore | None" = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -312,6 +320,10 @@ class Endpoint:
         #: When enabled, a new connection pays a handshake of one round trip
         #: on its link (SYN + SYN-ACK) before its first reply may leave.
         self.charge_connection_setup = charge_connection_setup
+        #: Optional bounded-CPU model: when set, per-request processing
+        #: delays are serialised through its cores instead of running in
+        #: parallel, so replies queue under load (server contention).
+        self.cores = cores
         self.stats = TransportStats()
         self._connections: dict[Address, Connection] = {}
         self._running = False
@@ -423,13 +435,20 @@ class Endpoint:
             # to drop the reply.
             connection.resolve(seq, None)
             return
+        if delay > 0 and self.cores is not None:
+            delay = self.cores.charge(delay)
         if delay > 0:
-            self.scheduler.schedule(
+            scheduler = self.scheduler
+            scheduler.schedule(
                 delay,
                 connection.resolve,
                 seq,
                 payload,
-                label=f"{self.name} processing for {connection.peer}",
+                label=(
+                    f"{self.name} processing for {connection.peer}"
+                    if scheduler.tracing
+                    else "processing"
+                ),
             )
             return
         connection.resolve(seq, payload)
@@ -514,7 +533,7 @@ class _ClientConnection:
         self.replies_received = 0
         self.unsolicited_replies = 0
         #: FIFO queue of pending ``(parse, deferred)`` expectations.
-        self._expectations: list[tuple[Callable[[Message], Any], Deferred]] = []
+        self._expectations: deque[tuple[Callable[[Message], Any], Deferred]] = deque()
         #: Latest scheduled arrival time of anything sent on this connection.
         self._last_arrival = 0.0
         channel.host.bind(port, self._on_message)
@@ -529,13 +548,18 @@ class _ClientConnection:
         self._expectations.append((parse, deferred))
         self.requests_sent += 1
         host = self.channel.host
+        scheduler = self.channel.scheduler
         latency = host.network.link_latency(host.name, self.destination.host)
         self._last_arrival = _send_in_order(
-            self.channel.scheduler,
+            scheduler,
             latency.one_way_delay(len(payload)),
             self._last_arrival,
             lambda: self._send_now(payload),
-            label=f"{self.channel.name} in-order send to {self.destination}",
+            label=(
+                f"{self.channel.name} in-order send to {self.destination}"
+                if scheduler.tracing
+                else "in-order send"
+            ),
         )
 
     def _send_now(self, payload: bytes) -> None:
@@ -575,7 +599,7 @@ class _ClientConnection:
         if not self._expectations:
             self.unsolicited_replies += 1
             return
-        parse, deferred = self._expectations.pop(0)
+        parse, deferred = self._expectations.popleft()
         self.replies_received += 1
         try:
             deferred.complete(parse(message))

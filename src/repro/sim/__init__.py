@@ -9,6 +9,7 @@ this reproduction is driven by a virtual clock and an event scheduler.
 
 from repro.sim.clock import Clock
 from repro.sim.scheduler import Event, Scheduler
+from repro.sim.servercore import ServerCore
 from repro.sim.timers import ResettableTimer, PeriodicTimer
 from repro.sim.latch import CompletionLatch
 
@@ -16,6 +17,7 @@ __all__ = [
     "Clock",
     "Event",
     "Scheduler",
+    "ServerCore",
     "ResettableTimer",
     "PeriodicTimer",
     "CompletionLatch",

@@ -5,24 +5,31 @@ queue of pending events.  Network message deliveries, publication timers,
 simulated processing delays and workload arrivals are all events; running the
 scheduler to quiescence therefore executes the distributed system
 deterministically in a single OS thread.
+
+Hot-path invariants (the fleet sweeps dispatch millions of events per run):
+
+* heap entries are plain ``(time, sequence, event)`` tuples — comparisons
+  stay in C, never in a ``__lt__`` written in Python;
+* :attr:`Scheduler.pending_count` is a live counter maintained by
+  ``schedule``/``cancel``/dispatch, never a queue scan;
+* cancelled events stay in the heap and are purged lazily — either when they
+  surface at the top, or in one O(n) sweep once they outnumber the live
+  entries;
+* dispatch avoids the ``**kwargs`` unpacking path when a callback was
+  scheduled without keyword arguments (the overwhelmingly common case).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import DeadlockError, SchedulerError
 from repro.sim.clock import Clock
 
-
-@dataclass(order=True)
-class _QueueEntry:
-    time: float
-    sequence: int
-    event: "Event" = field(compare=False)
+#: Queue size below which the lazy cancel purge is never triggered.
+_PURGE_MIN_QUEUE = 64
 
 
 class Event:
@@ -32,15 +39,25 @@ class Event:
     them (the §5.6 publication timer does this when it is *reset*).
     """
 
-    __slots__ = ("time", "callback", "args", "kwargs", "cancelled", "dispatched", "label")
+    __slots__ = (
+        "time",
+        "callback",
+        "args",
+        "kwargs",
+        "cancelled",
+        "dispatched",
+        "label",
+        "_scheduler",
+    )
 
     def __init__(
         self,
         time: float,
         callback: Callable[..., None],
         args: tuple,
-        kwargs: dict,
+        kwargs: dict | None,
         label: str,
+        scheduler: "Scheduler | None" = None,
     ) -> None:
         self.time = time
         self.callback = callback
@@ -49,10 +66,21 @@ class Event:
         self.cancelled = False
         self.dispatched = False
         self.label = label
+        self._scheduler = scheduler
 
     def cancel(self) -> None:
-        """Prevent the event from running when its time arrives."""
+        """Prevent the event from running when its time arrives.
+
+        Cancelling an event that already ran (or was already cancelled) is a
+        no-op, so callers may cancel defensively without corrupting the
+        scheduler's pending accounting.
+        """
+        if self.cancelled or self.dispatched:
+            return
         self.cancelled = True
+        scheduler = self._scheduler
+        if scheduler is not None:
+            scheduler._note_cancelled()
 
     @property
     def pending(self) -> bool:
@@ -60,7 +88,9 @@ class Event:
         return not self.cancelled and not self.dispatched
 
     def __repr__(self) -> str:
-        state = "cancelled" if self.cancelled else ("done" if self.dispatched else "pending")
+        # ``dispatched`` wins: an event that ran is "done" even if someone
+        # called cancel() on it afterwards.
+        state = "done" if self.dispatched else ("cancelled" if self.cancelled else "pending")
         return f"Event({self.label!r} at {self.time:.6f}, {state})"
 
 
@@ -74,9 +104,13 @@ class Scheduler:
 
     def __init__(self, clock: Clock | None = None) -> None:
         self.clock = clock if clock is not None else Clock()
-        self._queue: list[_QueueEntry] = []
+        #: Heap of ``(time, sequence, event)`` tuples.
+        self._queue: list[tuple[float, int, Event]] = []
         self._sequence = itertools.count()
         self._dispatched_count = 0
+        self._pending = 0
+        self._cancelled_in_queue = 0
+        self._last_event: Event | None = None
         self._trace: list[tuple[float, str]] | None = None
 
     # -- inspection -------------------------------------------------------
@@ -88,13 +122,18 @@ class Scheduler:
 
     @property
     def pending_count(self) -> int:
-        """Number of events still waiting to be dispatched."""
-        return sum(1 for entry in self._queue if entry.event.pending)
+        """Number of events still waiting to be dispatched (O(1))."""
+        return self._pending
 
     @property
     def dispatched_count(self) -> int:
         """Number of events dispatched since the scheduler was created."""
         return self._dispatched_count
+
+    @property
+    def last_event(self) -> Event | None:
+        """The most recently scheduled event (used by delivery batching)."""
+        return self._last_event
 
     def enable_tracing(self) -> None:
         """Record ``(time, label)`` for every dispatched event.
@@ -103,6 +142,15 @@ class Scheduler:
         report the exact order in which publication and RMI events occurred.
         """
         self._trace = []
+
+    @property
+    def tracing(self) -> bool:
+        """True once :meth:`enable_tracing` was called.
+
+        Hot paths check this before building descriptive f-string labels so
+        untraced runs skip the string formatting entirely.
+        """
+        return self._trace is not None
 
     @property
     def trace(self) -> list[tuple[float, str]]:
@@ -123,7 +171,13 @@ class Scheduler:
         from now and return the corresponding :class:`Event`."""
         if delay < 0:
             raise SchedulerError(f"cannot schedule an event in the past (delay={delay})")
-        return self.schedule_at(self.now + delay, callback, *args, label=label, **kwargs)
+        event = Event(
+            self.clock.now + delay, callback, args, kwargs or None, label, self
+        )
+        heapq.heappush(self._queue, (event.time, next(self._sequence), event))
+        self._pending += 1
+        self._last_event = event
+        return event
 
     def schedule_at(
         self,
@@ -134,12 +188,14 @@ class Scheduler:
         **kwargs: Any,
     ) -> Event:
         """Schedule ``callback`` to run at absolute virtual time ``time``."""
-        if time < self.now:
+        if time < self.clock.now:
             raise SchedulerError(
                 f"cannot schedule an event at {time} before current time {self.now}"
             )
-        event = Event(time, callback, args, kwargs, label)
-        heapq.heappush(self._queue, _QueueEntry(time, next(self._sequence), event))
+        event = Event(time, callback, args, kwargs or None, label, self)
+        heapq.heappush(self._queue, (time, next(self._sequence), event))
+        self._pending += 1
+        self._last_event = event
         return event
 
     def call_soon(
@@ -156,17 +212,23 @@ class Scheduler:
         Returns ``True`` if an event was dispatched, ``False`` if the queue
         was empty (cancelled events are discarded silently).
         """
-        while self._queue:
-            entry = heapq.heappop(self._queue)
-            event = entry.event
+        queue = self._queue
+        while queue:
+            _time, _seq, event = heapq.heappop(queue)
             if event.cancelled:
+                self._cancelled_in_queue -= 1
                 continue
             self.clock.advance_to(event.time)
             event.dispatched = True
+            self._pending -= 1
             self._dispatched_count += 1
             if self._trace is not None:
                 self._trace.append((event.time, event.label))
-            event.callback(*event.args, **event.kwargs)
+            kwargs = event.kwargs
+            if kwargs:
+                event.callback(*event.args, **kwargs)
+            else:
+                event.callback(*event.args)
             return True
         return False
 
@@ -204,10 +266,11 @@ class Scheduler:
         dispatched = 0
         while self._queue:
             entry = self._queue[0]
-            if entry.event.cancelled:
+            if entry[2].cancelled:
                 heapq.heappop(self._queue)
+                self._cancelled_in_queue -= 1
                 continue
-            if entry.time > deadline:
+            if entry[0] > deadline:
                 break
             self.step()
             dispatched += 1
@@ -253,10 +316,35 @@ class Scheduler:
 
     # -- internals --------------------------------------------------------
 
+    def _note_cancelled(self) -> None:
+        """Account for an :meth:`Event.cancel`; purge once cancels dominate."""
+        self._pending -= 1
+        self._cancelled_in_queue += 1
+        if (
+            self._cancelled_in_queue > _PURGE_MIN_QUEUE
+            and self._cancelled_in_queue * 2 > len(self._queue)
+        ):
+            # In-place (slice) assignment: run loops hold references to the
+            # queue list across dispatches, and a cancel inside a callback
+            # must not strand them on a stale heap.
+            queue = self._queue
+            queue[:] = [entry for entry in queue if not entry[2].cancelled]
+            heapq.heapify(queue)
+            self._cancelled_in_queue = 0
+
     def _has_pending_before(self, deadline: float) -> bool:
-        return any(
-            entry.event.pending and entry.time <= deadline for entry in self._queue
-        )
+        # Cancelled entries at the top were already popped by the callers'
+        # loops, so the heap minimum decides in O(1) (amortised: any
+        # cancelled entries surfacing here are discarded for good).
+        queue = self._queue
+        while queue:
+            entry = queue[0]
+            if entry[2].cancelled:
+                heapq.heappop(queue)
+                self._cancelled_in_queue -= 1
+                continue
+            return entry[0] <= deadline
+        return False
 
     def __repr__(self) -> str:
         return (

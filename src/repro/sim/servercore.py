@@ -1,0 +1,106 @@
+"""Bounded server CPU model.
+
+The paper's testbed is one physical server machine (a 3.2 GHz Pentium 4):
+when many clients call at once, their XML/CDR processing competes for the
+same processor and round-trip times degrade.  The seed reproduction charged
+every request's processing delay *in parallel* — unlimited implicit cores —
+which kept steady-state RTT unrealistically flat as the fleet grew (the
+ROADMAP open item).
+
+:class:`ServerCore` models the machine: a bounded set of cores, each with a
+"free again at" virtual time.  Charging a job picks the earliest-free core,
+queues the job behind whatever that core is already committed to, and
+returns the *total* delay (queueing wait + processing cost) the caller
+should schedule.  With one core the server is strictly serial, so N
+concurrent requests see RTTs growing roughly linearly in N — the realistic
+contention curve the 512-client sweeps measure.
+
+Determinism: ``charge`` is a pure function of the call sequence and the
+virtual clock; no wall-clock or randomness is involved, so the workload
+determinism contract (same spec → identical per-call RTTs) is preserved.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING
+
+from repro.errors import SchedulerError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.scheduler import Scheduler
+
+
+class ServerCore:
+    """A bounded set of CPU cores serialising processing delays.
+
+    Parameters
+    ----------
+    scheduler:
+        The virtual clock the core pool lives on.
+    cores:
+        Number of cores; processing beyond this concurrency queues.
+    """
+
+    __slots__ = (
+        "scheduler",
+        "cores",
+        "_free_at",
+        "jobs_charged",
+        "contended_jobs",
+        "busy_seconds",
+        "waited_seconds",
+        "max_queue_delay",
+    )
+
+    def __init__(self, scheduler: "Scheduler", cores: int) -> None:
+        if cores < 1:
+            raise SchedulerError(f"a server needs at least one core, got {cores}")
+        self.scheduler = scheduler
+        self.cores = cores
+        #: Min-heap of per-core "free again at" virtual times.
+        self._free_at: list[float] = [0.0] * cores
+        self.jobs_charged = 0
+        #: Jobs that had to wait for a core (saw a busy machine).
+        self.contended_jobs = 0
+        #: Total CPU-seconds of processing charged.
+        self.busy_seconds = 0.0
+        #: Total seconds jobs spent queued waiting for a core.
+        self.waited_seconds = 0.0
+        #: Longest any single job waited for a core.
+        self.max_queue_delay = 0.0
+
+    def charge(self, cost: float) -> float:
+        """Reserve ``cost`` CPU-seconds on the earliest-free core.
+
+        Returns the total delay from *now* until the job completes:
+        the queueing wait (zero on an idle machine) plus ``cost``.
+        """
+        if cost < 0:
+            raise SchedulerError(f"processing cost must be non-negative, got {cost}")
+        now = self.scheduler.clock.now
+        free_at = heapq.heappop(self._free_at)
+        start = free_at if free_at > now else now
+        finish = start + cost
+        heapq.heappush(self._free_at, finish)
+        self.jobs_charged += 1
+        self.busy_seconds += cost
+        wait = start - now
+        if wait > 0:
+            self.contended_jobs += 1
+            self.waited_seconds += wait
+            if wait > self.max_queue_delay:
+                self.max_queue_delay = wait
+        return finish - now
+
+    @property
+    def busy_cores(self) -> int:
+        """Cores currently committed past the present instant."""
+        now = self.scheduler.clock.now
+        return sum(1 for free_at in self._free_at if free_at > now)
+
+    def __repr__(self) -> str:
+        return (
+            f"ServerCore(cores={self.cores}, jobs={self.jobs_charged}, "
+            f"busy={self.busy_seconds:.4f}s, max_wait={self.max_queue_delay:.4f}s)"
+        )

@@ -51,6 +51,7 @@ class LiveDevelopmentTestbed:
         cost_model: CostModel | None = None,
         sde_config: SDEConfig | None = None,
         client_speed_factor: float = CLIENT_SPEED_FACTOR,
+        server_cores: int | None = None,
     ) -> None:
         self.scheduler = Scheduler()
         self.network = Network(self.scheduler, latency or t1_lan_profile())
@@ -60,6 +61,8 @@ class LiveDevelopmentTestbed:
         config = sde_config if sde_config is not None else SDEConfig()
         if cost_model is not None and config.cost_model is None:
             config.cost_model = cost_model
+        if server_cores is not None and config.server_cores is None:
+            config.server_cores = server_cores
 
         self.environment = JPieEnvironment("server-jpie")
         self.sde = SDEManager(self.environment, self.scheduler, self.server_host, config)

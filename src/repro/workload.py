@@ -112,6 +112,13 @@ class WorkloadReport:
     #: excluded.
     server_connections: int = 0
     server_replies_sent: int = 0
+    #: Bounded-CPU accounting (zeroes when the testbed runs without a
+    #: ``server_cores`` limit): CPU-seconds charged, seconds spent queued
+    #: for a core, and the longest single wait, for this run only.
+    server_cores: int | None = None
+    server_busy_seconds: float = 0.0
+    server_waited_seconds: float = 0.0
+    server_max_core_wait: float = 0.0
 
     @property
     def duration(self) -> float:
@@ -238,8 +245,13 @@ class _WorkloadClient:
         self._classify(value, error)
         think = self.driver.spec.think_time
         if think > 0:
-            self.driver.scheduler.schedule(
-                think, self._next_call, label=f"{self.result.name} think time"
+            scheduler = self.driver.scheduler
+            scheduler.schedule(
+                think,
+                self._next_call,
+                label=(
+                    f"{self.result.name} think time" if scheduler.tracing else "think time"
+                ),
             )
         else:
             self._next_call()
@@ -319,6 +331,10 @@ class MultiClientWorkload:
         endpoint = self._server_endpoint()
         replies_before = endpoint.stats.replies_sent
         connections_before = len(endpoint.connections)
+        core = self.testbed.sde.server_core
+        core_before = (
+            (core.busy_seconds, core.waited_seconds) if core is not None else (0.0, 0.0)
+        )
         # max is not delta-able like the counters: measure this run's high
         # water with a clean gauge, then restore the lifetime maximum.
         self.handler.stats.max_stall_queue_depth = 0
@@ -354,6 +370,14 @@ class MultiClientWorkload:
             max_stall_queue_depth=run_max_depth,
             server_connections=len(endpoint.connections) - connections_before,
             server_replies_sent=endpoint.stats.replies_sent - replies_before,
+            server_cores=core.cores if core is not None else None,
+            server_busy_seconds=(
+                core.busy_seconds - core_before[0] if core is not None else 0.0
+            ),
+            server_waited_seconds=(
+                core.waited_seconds - core_before[1] if core is not None else 0.0
+            ),
+            server_max_core_wait=core.max_queue_delay if core is not None else 0.0,
         )
 
     def _server_endpoint(self):

@@ -17,25 +17,36 @@ _XML_DECLARATION = '<?xml version="1.0" encoding="UTF-8"?>'
 
 
 def _escape_text(value: str) -> str:
-    return (
-        value.replace("&", "&amp;")
-        .replace("<", "&lt;")
-        .replace(">", "&gt;")
-    )
+    if "&" in value or "<" in value or ">" in value:
+        return (
+            value.replace("&", "&amp;")
+            .replace("<", "&lt;")
+            .replace(">", "&gt;")
+        )
+    return value
 
 
 def _escape_attribute(value: str) -> str:
     return _escape_text(value).replace('"', "&quot;")
 
 
+#: Public aliases used by the SOAP envelope fast path, which must escape
+#: byte-identically to this serialiser.
+escape_text = _escape_text
+escape_attribute = _escape_attribute
+
+
 def _collect_namespaces(root: XmlElement) -> list[str]:
-    seen: list[str] = []
+    # A dict doubles as an ordered set: first-seen document order, O(1) membership.
+    seen: dict[str, None] = {}
     for element in root.iter():
-        names = [element.name] + list(element.attributes.keys())
-        for qname in names:
-            if qname.namespace and qname.namespace not in seen:
-                seen.append(qname.namespace)
-    return seen
+        namespace = element.name.namespace
+        if namespace:
+            seen[namespace] = None
+        for qname in element.attributes:
+            if qname.namespace:
+                seen[qname.namespace] = None
+    return list(seen)
 
 
 def _assign_prefixes(namespaces: list[str]) -> dict[str, str]:

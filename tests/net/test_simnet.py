@@ -9,7 +9,7 @@ from repro.errors import (
     TransportError,
 )
 from repro.errors import ConnectionRefusedError as SimConnectionRefusedError
-from repro.net import Network, t1_lan_profile
+from repro.net import Network, loopback_profile, t1_lan_profile
 from repro.net.latency import LatencyModel
 from repro.net.simnet import Address
 from repro.sim import Scheduler
@@ -98,6 +98,40 @@ class TestDelivery:
         network.host("client").send(Address("server", 81), b"x")
         with pytest.raises(SimConnectionRefusedError):
             scheduler.run_until_idle()
+
+    def test_delivery_log_is_opt_in(self, scheduler):
+        recording = Network(scheduler, loopback_profile(), record_deliveries=True)
+        server = recording.add_host("server")
+        client = recording.add_host("client")
+        server.bind(80, lambda m, h: None)
+        client.send(Address("server", 80), b"one")
+        client.send(Address("server", 80), b"two")
+        scheduler.run_until_idle()
+        assert [m.payload for m in recording.delivered_messages] == [b"one", b"two"]
+
+        silent = Network(scheduler, loopback_profile())
+        server2 = silent.add_host("server")
+        client2 = silent.add_host("client")
+        server2.bind(80, lambda m, h: None)
+        client2.send(Address("server", 80), b"three")
+        scheduler.run_until_idle()
+        assert silent.delivered_messages == []
+        assert silent.stats.messages_received == 1
+
+    def test_same_instant_sends_deliver_in_send_order(self, scheduler):
+        """Equal-size messages sent back-to-back coalesce into one delivery
+        batch without perturbing (time, insertion) order."""
+        network = Network(scheduler, loopback_profile())
+        server = network.add_host("server")
+        client = network.add_host("client")
+        received, listener = _collector()
+        server.bind(80, listener)
+        for index in range(5):
+            client.send(Address("server", 80), b"%d" % index)
+        dispatched = scheduler.run_until_idle()
+        assert [m.payload for m in received] == [b"0", b"1", b"2", b"3", b"4"]
+        # One batched delivery event, not five.
+        assert dispatched == 1
 
     def test_send_to_unknown_host_rejected_immediately(self, network):
         with pytest.raises(HostNotFoundError):

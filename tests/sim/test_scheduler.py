@@ -133,6 +133,81 @@ class TestRunModes:
         assert order == ["outer", "inner"]
 
 
+class TestEventState:
+    def test_repr_reports_done_not_cancelled_after_dispatch(self, scheduler: Scheduler):
+        event = scheduler.schedule(1.0, lambda: None, label="job")
+        scheduler.run_until_idle()
+        event.cancel()  # defensive late cancel: must stay a no-op
+        assert "done" in repr(event)
+        assert "cancelled" not in repr(event)
+        assert not event.cancelled
+
+    def test_repr_states(self, scheduler: Scheduler):
+        pending = scheduler.schedule(1.0, lambda: None)
+        cancelled = scheduler.schedule(1.0, lambda: None)
+        cancelled.cancel()
+        assert "pending" in repr(pending)
+        assert "cancelled" in repr(cancelled)
+
+    def test_double_cancel_keeps_pending_count_consistent(self, scheduler: Scheduler):
+        event = scheduler.schedule(1.0, lambda: None)
+        scheduler.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert scheduler.pending_count == 1
+
+    def test_pending_count_tracks_cancellation(self, scheduler: Scheduler):
+        events = [scheduler.schedule(1.0, lambda: None) for _ in range(10)]
+        for event in events[:4]:
+            event.cancel()
+        assert scheduler.pending_count == 6
+        assert scheduler.run_until_idle() == 6
+        assert scheduler.pending_count == 0
+
+    def test_lazy_purge_preserves_order_under_mass_cancellation(self, scheduler: Scheduler):
+        order = []
+        keepers = []
+        for index in range(500):
+            event = scheduler.schedule(
+                (index % 7) * 0.1, lambda i=index: order.append(i)
+            )
+            if index % 5:
+                event.cancel()  # 80% cancelled: triggers the heap purge
+            else:
+                keepers.append(((index % 7) * 0.1, index))
+        assert scheduler.pending_count == len(keepers)
+        scheduler.run_until_idle()
+        keepers.sort()
+        assert order == [index for _time, index in keepers]
+
+    def test_run_for_with_only_cancelled_events_advances_clock(self, scheduler: Scheduler):
+        event = scheduler.schedule(1.0, lambda: None)
+        event.cancel()
+        scheduler.run_for(2.0)
+        assert scheduler.now == 2.0
+
+    def test_mass_cancel_inside_callback_does_not_strand_run_loop(
+        self, scheduler: Scheduler
+    ):
+        """A callback that triggers the lazy heap purge (mass cancellation)
+        must not leave run_until_time iterating a stale queue: follow-up
+        events still dispatch and the clock never runs past them."""
+        ran = []
+        victims = [scheduler.schedule(2.0, lambda: ran.append("victim")) for _ in range(200)]
+
+        def mass_cancel():
+            for event in victims:
+                event.cancel()
+            scheduler.schedule(0.5, lambda: ran.append("follow-up"))
+
+        scheduler.schedule(1.0, mass_cancel)
+        scheduler.run_for(5.0)
+        assert ran == ["follow-up"]
+        assert scheduler.now == 5.0
+        assert scheduler.pending_count == 0
+        scheduler.run_until_idle()  # must not raise (clock never overshot)
+
+
 class TestIntrospection:
     def test_pending_and_dispatched_counts(self, scheduler: Scheduler):
         scheduler.schedule(1.0, lambda: None)
