@@ -1,0 +1,89 @@
+"""The acceptance scenario for the declarative Scenario API.
+
+A 4-server, 256-client mixed SOAP/CORBA world — two replicated echo
+services behind round-robin routing, one mid-run edit+publish on the SOAP
+service — expressed in ≤ 20 lines of :mod:`repro.cluster` code (see
+:func:`mixed_cluster_scenario`).  The benchmark records the cost of
+*simulating* the scenario; the simulated quantities (per-service RTT,
+publication counts, events dispatched) are attached to ``extra_info``,
+and the run is asserted deterministic: two fresh runs produce identical
+per-call RTT sequences.
+
+``REPRO_BENCH_QUICK=1`` (set by ``run_all.py --quick``) shrinks the fleet.
+
+Run with:  pytest benchmarks/bench_cluster_scenario.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cluster import Scenario, edit, op, publish
+from repro.core.sde import SDEConfig
+from repro.rmitypes import STRING
+
+_QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+
+#: The acceptance floor is 256 clients; quick CI grids run a quarter of it.
+CLIENTS = 64 if _QUICK else 256
+
+
+def mixed_cluster_scenario(clients: int = CLIENTS) -> Scenario:
+    """The whole world in one declarative expression (≤ 20 lines)."""
+    echo = op("echo", (("message", STRING),), STRING, body=lambda _self, m: m)
+    return (
+        Scenario(name="mixed-cluster", sde_config=SDEConfig(generation_cost=0.02))
+        .servers(4)
+        .service("EchoSoap", [echo], technology="soap", replicas=2)
+        .service("EchoCorba", [echo], technology="corba", replicas=2)
+        .clients(
+            clients,
+            protocol_mix={"soap": 0.5, "corba": 0.5},
+            calls=3,
+            operation="echo",
+            arguments=("hello fleet",),
+            think_time=0.02,
+        )
+        .at(0.02, edit("EchoSoap", op("added_mid_run")))
+        .at(0.04, publish("EchoSoap"))
+    )
+
+
+@pytest.mark.benchmark(group="cluster-scenario")
+def test_mixed_cluster_scenario_4x256(benchmark):
+    """4 servers × 256 mixed clients, one mid-run edit+publish, deterministic."""
+
+    def run_twice():
+        return mixed_cluster_scenario().run(), mixed_cluster_scenario().run()
+
+    first, second = benchmark.pedantic(run_twice, rounds=1, iterations=1)
+
+    # Deterministic: identical ClusterReport RTT sequences across two runs.
+    assert first.all_rtts == second.all_rtts
+    assert first.duration == second.duration
+    assert first.events_dispatched == second.events_dispatched
+
+    assert first.total_calls == CLIENTS * 3
+    assert first.total_successes == first.total_calls
+    # The mid-run publication landed on both SOAP replicas while the fleet ran.
+    assert first.service("EchoSoap").publications >= 2
+    assert first.service("EchoSoap").interface_version >= 3
+    # Every replica of both services carried traffic.
+    for service in first.services:
+        assert all(replica.calls_routed > 0 for replica in service.replicas)
+
+    benchmark.extra_info["clients"] = CLIENTS
+    benchmark.extra_info["servers"] = 4
+    benchmark.extra_info["simulated_duration_s"] = round(first.duration, 5)
+    benchmark.extra_info["events_dispatched"] = first.events_dispatched
+    benchmark.extra_info["mean_simulated_rtt_s"] = round(first.mean_rtt, 5)
+    for service in first.services:
+        rtts = first.rtts_for(service.name)
+        benchmark.extra_info[f"mean_simulated_rtt_{service.technology}_s"] = round(
+            sum(rtts) / len(rtts), 5
+        )
+    benchmark.extra_info["soap_publications_mid_run"] = first.service(
+        "EchoSoap"
+    ).publications

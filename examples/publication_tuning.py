@@ -4,12 +4,17 @@ The SDE Manager Interface lets the developer control how eagerly the server
 interface is republished.  This example replays the same editing burst under
 three publication timeouts and under the two alternative strategies the paper
 rejects, printing how many (and which) interface versions each configuration
-published — the data behind the E4 ablation.  It finishes with the rogue
-client scenario of §5.7.
+published — the data behind the E4 ablation.  Each configuration is one
+declarative ``Scenario``: the editing burst is a timeline of ``edit(...)``
+actions and ``run(until=...)`` drives the world with no clients attached,
+so publication happens organically (stability timers, polling).  It
+finishes with the rogue client scenario of §5.7.
 
 Run with:  python examples/publication_tuning.py
 """
 
+from repro import INT, Scenario, op
+from repro.cluster import edit
 from repro.core.sde import SDEConfig
 from repro.core.sde.publisher import (
     STRATEGY_CHANGE_DRIVEN,
@@ -18,32 +23,30 @@ from repro.core.sde.publisher import (
 )
 from repro.errors import NonExistentMethodError
 from repro.experiments.stale_flood import run_stale_flood
-from repro.rmitypes import INT
-from repro.testbed import LiveDevelopmentTestbed, OperationSpec
 
-
-def editing_burst(testbed, service, edits=6, gap=0.6):
-    """Simulate a developer adding methods in quick succession."""
-    for index in range(edits):
-        service.add_method(
-            f"operation_{index}", (), INT, body=lambda self: 0, distributed=True
-        )
-        testbed.run_for(gap)
-    testbed.run_for(20.0)
+EDITS = 6
+EDIT_GAP = 0.6
 
 
 def run_configuration(label, strategy, timeout):
-    testbed = LiveDevelopmentTestbed(
+    scenario = Scenario(
+        name="publication-tuning",
         sde_config=SDEConfig(
             publication_timeout=timeout,
             generation_cost=0.25,
             publication_strategy=strategy,
             poll_interval=8.0,
+        ),
+    ).service("EditedService", [])
+    # A developer adding methods in quick succession, as timeline actions.
+    for index in range(EDITS):
+        scenario.at(
+            index * EDIT_GAP,
+            edit("EditedService", op(f"operation_{index}", (), INT, body=lambda self: 0)),
         )
-    )
-    service, _instance = testbed.create_soap_server("EditedService", [])
-    editing_burst(testbed, service)
-    publisher = testbed.sde.managed_server("EditedService").publisher
+    runtime = scenario.build()
+    runtime.run(until=EDITS * EDIT_GAP + 20.0)
+    publisher = runtime.replicas("EditedService")[0].publisher
     print(
         f"{label:36s} publications={publisher.stats.publications:2d} "
         f"generations={publisher.stats.generations:2d} "
@@ -68,20 +71,19 @@ def main() -> None:
     )
 
     print("\n== manual force-publication via the SDE Manager Interface ==")
-    testbed = LiveDevelopmentTestbed(sde_config=SDEConfig(publication_timeout=30.0))
-    service, _instance = testbed.create_soap_server(
-        "SlowService",
-        [OperationSpec("ping", (), INT, body=lambda self: 1)],
+    world = (
+        Scenario(name="slow-publisher", sde_config=SDEConfig(publication_timeout=30.0))
+        .service("SlowService", [op("ping", (), INT, body=lambda self: 1)])
+        .build()
     )
-    binding = None
     try:
-        testbed.manager_interface.force_publication("SlowService")
-        testbed.run_for(1.0)
-        binding = testbed.connect_soap_client("SlowService")
+        world.publish("SlowService")
+        world.world.run_for(1.0)
+        binding = world.connect("SlowService")
         print("ping() =", binding.invoke("ping"))
     except NonExistentMethodError:
         print("unexpected stale call")
-    status = testbed.manager_interface.publication_status("SlowService")
+    status = world.nodes[0].manager_interface.publication_status("SlowService")
     print("published version:", status.version, "timer running:", status.timer_running)
 
 

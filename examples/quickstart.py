@@ -1,11 +1,13 @@
 """Quickstart: build a live SOAP server and call it while editing it.
 
-This walks through the paper's core workflow (§4):
+This walks through the paper's core workflow (§4), expressed with the
+declarative Scenario API (``repro.cluster``):
 
-1. the developer extends ``SOAPServer`` — SDE deploys everything automatically
-   and publishes a minimal WSDL document;
-2. distributed methods are added; after a stable interval the interface is
-   republished;
+1. a ``Scenario`` describes the world — one server machine carrying a
+   ``Calculator`` service — and ``build()`` stands it up: SDE deploys the
+   backend automatically and publishes a minimal WSDL document;
+2. distributed methods were declared with ``op(...)``; after a stable
+   interval the interface is republished;
 3. a client (CDE) connects through the published WSDL and makes calls;
 4. the developer keeps editing the *running* server — behaviour changes are
    visible on the very next call, and interface changes are resolved through
@@ -14,40 +16,43 @@ This walks through the paper's core workflow (§4):
 Run with:  python examples/quickstart.py
 """
 
+from repro import INT, STRING, Scenario, op
 from repro.errors import NonExistentMethodError
-from repro.rmitypes import INT, STRING
-from repro.testbed import LiveDevelopmentTestbed, OperationSpec
 
 
 def main() -> None:
-    testbed = LiveDevelopmentTestbed()
-
-    # -- 1. create the server class; SDE deploys it automatically ------------
-    calculator, _instance = testbed.create_soap_server(
-        "Calculator",
-        [
-            OperationSpec("add", (("a", INT), ("b", INT)), INT,
-                          body=lambda self, a, b: a + b),
-            OperationSpec("greet", (("name", STRING),), STRING,
-                          body=lambda self, name: f"hello {name}"),
-        ],
+    # -- 1. describe the world; SDE deploys the service automatically --------
+    world = (
+        Scenario(name="quickstart")
+        .service(
+            "Calculator",
+            [
+                op("add", (("a", INT), ("b", INT)), INT,
+                   body=lambda self, a, b: a + b),
+                op("greet", (("name", STRING),), STRING,
+                   body=lambda self, name: f"hello {name}"),
+            ],
+        )
+        .build()
     )
-    print("Managed servers:", testbed.manager_interface.managed_class_names())
+    manager_interface = world.nodes[0].manager_interface
+    print("Managed servers:", manager_interface.managed_class_names())
 
     # -- 2. let the stable-change publisher run (§5.6) ------------------------
-    testbed.settle()
-    status = testbed.manager_interface.publication_status("Calculator")
+    world.settle()
+    status = manager_interface.publication_status("Calculator")
     print(f"Published interface version {status.version} at {status.document_url}")
     print()
-    print(testbed.manager_interface.view_live_interface("Calculator"))
+    print(manager_interface.view_live_interface("Calculator"))
     print()
 
     # -- 3. connect a client through the published WSDL ----------------------
-    client = testbed.connect_soap_client("Calculator")
+    client = world.connect("Calculator")
     print("add(2, 3)      =", client.invoke("add", 2, 3))
     print("greet('world') =", client.invoke("greet", "world"))
 
     # -- 4a. live behaviour change: takes effect on the next call ------------
+    calculator = world.dynamic_class("Calculator")
     calculator.method("add").set_body(lambda self, a, b: (a + b) * 100)
     print("add(2, 3) after live body edit =", client.invoke("add", 2, 3))
 
@@ -61,7 +66,7 @@ def main() -> None:
     print("client view now:", client.description.operation_names())
     print("welcome('world') =", client.invoke("welcome", "world"))
 
-    entry = testbed.cde.debugger.latest()
+    entry = world.cde.debugger.latest()
     print("debugger recorded:", entry)
 
 

@@ -14,27 +14,58 @@ and CORBA Servers* (Pallemulle, Goldman & Morgan, WUCSE-2004-75 / ICDCS
   (:mod:`repro.corba`), an HTTP substrate and simulated network
   (:mod:`repro.net`), and a deterministic discrete-event simulation kernel
   (:mod:`repro.sim`);
+* the declarative **Scenario API** (:mod:`repro.cluster`) — one
+  protocol-agnostic entry point that describes an N-server × M-client
+  world (replicated services, routing policies, client fleets with
+  protocol mixes, a timeline of developer actions) and runs it
+  deterministically;
 * experiment drivers reproducing every table and figure of the evaluation
-  (:mod:`repro.experiments`), plus a convenience testbed
-  (:mod:`repro.testbed`).
+  (:mod:`repro.experiments`), plus the legacy two-host testbed
+  (:mod:`repro.testbed`), now a thin adapter over the cluster layer.
 
 Quickstart
 ----------
 
->>> from repro.testbed import LiveDevelopmentTestbed, OperationSpec
->>> from repro.rmitypes import INT
->>> testbed = LiveDevelopmentTestbed()
->>> calc, _ = testbed.create_soap_server(
-...     "Calculator",
-...     [OperationSpec("add", (("a", INT), ("b", INT)), INT,
-...                    body=lambda self, a, b: a + b)],
+Describe a world declaratively and run it:
+
+>>> from repro import Scenario, op, STRING
+>>> report = (
+...     Scenario()
+...     .servers(2)
+...     .service("Echo", [op("echo", (("m", STRING),), STRING,
+...                          body=lambda self, m: m)], replicas=2)
+...     .clients(8, service="Echo", calls=5, arguments=("ping",))
+...     .run()
 ... )
->>> testbed.publish_now("Calculator")
->>> client = testbed.connect_soap_client("Calculator")
+>>> report.total_successes
+40
+
+or build it for interactive live development (the paper's §4 workflow):
+
+>>> from repro import INT
+>>> world = (
+...     Scenario()
+...     .service("Calculator", [op("add", (("a", INT), ("b", INT)), INT,
+...                                body=lambda self, a, b: a + b)])
+...     .build()
+... )
+>>> world.publish()
+>>> client = world.connect("Calculator")
 >>> client.invoke("add", 2, 3)
 5
 """
 
+from repro.cluster import (
+    ClientReport,
+    ClusterReport,
+    Scenario,
+    ScenarioRuntime,
+    ServiceReport,
+    churn,
+    edit,
+    op,
+    publish,
+)
 from repro.errors import ReproError
 from repro.interface import InterfaceDescription, OperationSignature, Parameter
 from repro.rmitypes import (
@@ -51,7 +82,7 @@ from repro.rmitypes import (
 )
 from repro.testbed import LiveDevelopmentTestbed, OperationSpec
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ReproError",
@@ -68,6 +99,15 @@ __all__ = [
     "STRING",
     "CHAR",
     "VOID",
+    "Scenario",
+    "ScenarioRuntime",
+    "ClusterReport",
+    "ClientReport",
+    "ServiceReport",
+    "op",
+    "edit",
+    "publish",
+    "churn",
     "LiveDevelopmentTestbed",
     "OperationSpec",
     "__version__",

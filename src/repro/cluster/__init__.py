@@ -1,0 +1,105 @@
+"""``repro.cluster`` — the declarative, protocol-agnostic Scenario API.
+
+One composable front door for N-server × M-client simulated worlds: a
+:class:`Scenario` describes machines, replicated services with routing
+policies, client fleets with protocol mixes, and a timeline of developer
+actions; ``run()`` drives it deterministically and returns a
+:class:`ClusterReport` with unified per-service / per-client RTT,
+stall-queue and publication metrics.
+
+Layering (see ARCHITECTURE.md "Scenario API"):
+
+* :mod:`repro.cluster.topology` — :class:`ClusterWorld` /
+  :class:`ServerNode`: generalised host creation (any number of SDE server
+  machines and client machines on one scheduler/network);
+* :mod:`repro.cluster.registry` — :class:`ServiceRegistry` and the
+  replica-selection policies (round-robin / sticky / least-loaded) on top
+  of the transport layer's :class:`~repro.net.transport.RouteTable`;
+* :mod:`repro.cluster.protocols` — pluggable client-side protocol stacks
+  (SOAP, CORBA, and any registered third technology);
+* :mod:`repro.cluster.driver` — the deterministic callback-driven fleet
+  driver;
+* :mod:`repro.cluster.report` — the unified result objects;
+* :mod:`repro.cluster.scenario` — the :class:`Scenario` builder plus the
+  ``op`` / ``edit`` / ``publish`` / ``churn`` helpers.
+
+The legacy two-host :class:`repro.testbed.LiveDevelopmentTestbed` and the
+single-service :mod:`repro.workload` driver are thin adapters over this
+package.
+"""
+
+from repro.cluster.driver import ClientPlan, FleetDriver
+from repro.cluster.protocols import (
+    CorbaProtocolClient,
+    ProtocolClient,
+    SoapProtocolClient,
+    client_protocol_factory,
+    register_client_protocol,
+    registered_client_protocols,
+)
+from repro.cluster.registry import (
+    POLICY_LEAST_LOADED,
+    POLICY_ROUND_ROBIN,
+    POLICY_STICKY,
+    LeastLoadedPolicy,
+    Replica,
+    ReplicaPolicy,
+    RoundRobinPolicy,
+    ServiceEntry,
+    ServiceRegistry,
+    StickyPolicy,
+    make_policy,
+)
+from repro.cluster.report import (
+    ClientReport,
+    ClusterReport,
+    NodeReport,
+    ReplicaReport,
+    ServiceReport,
+)
+from repro.cluster.scenario import (
+    OperationSpec,
+    Scenario,
+    ScenarioRuntime,
+    churn,
+    edit,
+    op,
+    publish,
+)
+from repro.cluster.topology import ClusterWorld, ServerNode
+
+__all__ = [
+    "Scenario",
+    "ScenarioRuntime",
+    "OperationSpec",
+    "op",
+    "edit",
+    "publish",
+    "churn",
+    "ClusterReport",
+    "ClientReport",
+    "ServiceReport",
+    "ReplicaReport",
+    "NodeReport",
+    "ClusterWorld",
+    "ServerNode",
+    "ServiceRegistry",
+    "ServiceEntry",
+    "Replica",
+    "ReplicaPolicy",
+    "RoundRobinPolicy",
+    "StickyPolicy",
+    "LeastLoadedPolicy",
+    "make_policy",
+    "POLICY_ROUND_ROBIN",
+    "POLICY_STICKY",
+    "POLICY_LEAST_LOADED",
+    "FleetDriver",
+    "ClientPlan",
+    "ProtocolClient",
+    "SoapProtocolClient",
+    "CorbaProtocolClient",
+    "register_client_protocol",
+    "client_protocol_factory",
+    "registered_client_protocols",
+]

@@ -1,0 +1,399 @@
+"""The generic fleet driver: N clients × any services × any protocols.
+
+This is the measured core of a scenario run, generalising the seed's
+single-service workload driver: every client is callback-driven (it uses
+the transport layer's asynchronous request path rather than blocking the
+scheduler), so all request streams genuinely interleave, and because the
+scheduler dispatches equal-time events in insertion order the whole run is
+deterministic — the same plan always produces the same per-call round-trip
+times, whatever mix of services, replicas and protocols is in play.
+
+Per-replica server statistics (stall queue, endpoint connections/replies,
+publications) and per-node CPU statistics are snapshotted before the
+measured window and reported as deltas, so repeated runs against one world
+stay independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.cluster.protocols import (
+    OUTCOME_NOT_INITIALIZED,
+    OUTCOME_STALE,
+    OUTCOME_SUCCESS,
+    ProtocolClient,
+    ProtocolClientFactory,
+    client_protocol_factory,
+)
+from repro.cluster.registry import Replica, ServiceRegistry
+from repro.cluster.report import (
+    ClientReport,
+    ClusterReport,
+    NodeReport,
+    ReplicaReport,
+    ServiceReport,
+)
+from repro.net.simnet import Host
+from repro.sim.scheduler import Scheduler
+
+
+@dataclass(frozen=True)
+class ClientPlan:
+    """What one fleet client should do."""
+
+    index: int
+    host: Host
+    protocol: str
+    service: str
+    calls: int
+    operation: str
+    arguments: tuple[Any, ...] = ()
+    #: Virtual seconds between receiving a reply and issuing the next call.
+    think_time: float = 0.0
+    #: Workload-relative virtual time of this client's first call.
+    start_offset: float = 0.0
+    #: Direct every *k*-th call (1-based numbers divisible by *k*) at
+    #: ``stale_operation`` — §5.7 stall-protocol pressure.
+    stale_every: int | None = None
+    stale_operation: str = "no_such_operation"
+
+
+class _FleetClient:
+    """One callback-driven client of the fleet."""
+
+    def __init__(self, driver: "FleetDriver", plan: ClientPlan) -> None:
+        self.driver = driver
+        self.plan = plan
+        entry = driver.registry.lookup(plan.service)
+        factory = driver.protocol_factory(plan.protocol)
+        self.stack: ProtocolClient = factory(plan.host, plan.index, entry.replicas)
+        self.report = ClientReport(
+            name=plan.host.name, protocol=plan.protocol, service=plan.service
+        )
+        self._calls_issued = 0
+
+    def prepare(self) -> None:
+        """Fetch and parse the published interface documents (blocking)."""
+        self.stack.prepare()
+
+    def start(self) -> None:
+        """Issue this client's first call."""
+        self._next_call()
+
+    def _next_call(self) -> None:
+        if self.driver.closed:
+            # The driver's measured window is over (a deadline cut the run
+            # short): a leftover think-timer event must not issue calls into
+            # a later run's window.
+            return
+        plan = self.plan
+        if self._calls_issued >= plan.calls:
+            self.driver._client_finished()
+            return
+        self._calls_issued += 1
+        call_number = self._calls_issued
+        operation, arguments = plan.operation, plan.arguments
+        if plan.stale_every and call_number % plan.stale_every == 0:
+            operation, arguments = plan.stale_operation, ()
+        replica = self.driver.registry.select(plan.service, self.report.name)
+        self.report.replica_sequence.append(replica.index)
+        ServiceRegistry.begin_call(replica)
+        started = self.driver.scheduler.now
+        deferred = self.stack.call(replica, operation, arguments)
+        deferred.subscribe(
+            lambda value, error, _delay: self._on_reply(replica, started, value, error)
+        )
+
+    def _on_reply(
+        self, replica: Replica, started: float, value: Any, error: BaseException | None
+    ) -> None:
+        ServiceRegistry.end_call(replica)
+        if self.driver.closed:
+            # A reply landing after the window: release the in-flight slot
+            # (above) but leave the frozen report and the call loop alone.
+            return
+        self.report.rtts.append(self.driver.scheduler.now - started)
+        self._classify(value, error)
+        think = self.plan.think_time
+        if think > 0:
+            scheduler = self.driver.scheduler
+            scheduler.schedule(
+                think,
+                self._next_call,
+                label=(
+                    f"{self.report.name} think time" if scheduler.tracing else "think time"
+                ),
+            )
+        else:
+            self._next_call()
+
+    def _classify(self, value: Any, error: BaseException | None) -> None:
+        outcome = self.stack.classify(value, error)
+        report = self.report
+        if outcome == OUTCOME_SUCCESS:
+            report.successes += 1
+        elif outcome == OUTCOME_STALE:
+            report.stale_faults += 1
+        elif outcome == OUTCOME_NOT_INITIALIZED:
+            report.not_initialized_faults += 1
+        else:
+            report.other_faults += 1
+
+
+class _ReplicaSnapshot:
+    """Pre-run server-side counters for one replica."""
+
+    def __init__(self, replica: Replica) -> None:
+        self.replica = replica
+        stats = replica.call_handler.stats
+        self.stalled_calls = stats.stalled_calls
+        self.queued_while_stalled = stats.queued_while_stalled
+        self.lifetime_max_stall_depth = stats.max_stall_queue_depth
+        self.calls_routed = replica.calls_routed
+        publisher_stats = replica.publisher.stats
+        self.publications = publisher_stats.publications
+        self.forced_publications = publisher_stats.forced_publications
+        self.stale_call_publications = publisher_stats.stale_call_publications
+        endpoint = transport_endpoint(replica.call_handler)
+        self.endpoint = endpoint
+        self.replies_sent = endpoint.stats.replies_sent if endpoint else 0
+        self.connections = len(endpoint.connections) if endpoint else 0
+        # max is not delta-able like the counters: measure this run's high
+        # water with a clean gauge, then restore the lifetime maximum.
+        stats.max_stall_queue_depth = 0
+
+    def restore_gauges(self) -> None:
+        """Put the lifetime high-water mark back (abnormal-exit path)."""
+        stats = self.replica.call_handler.stats
+        stats.max_stall_queue_depth = max(
+            stats.max_stall_queue_depth, self.lifetime_max_stall_depth
+        )
+
+    def report(self) -> ReplicaReport:
+        """Build this replica's per-run report and restore lifetime gauges."""
+        replica = self.replica
+        stats = replica.call_handler.stats
+        run_max_depth = stats.max_stall_queue_depth
+        stats.max_stall_queue_depth = max(run_max_depth, self.lifetime_max_stall_depth)
+        publisher = replica.publisher
+        return ReplicaReport(
+            service=replica.service,
+            index=replica.index,
+            node=replica.node.name,
+            class_name=replica.class_name,
+            calls_routed=replica.calls_routed - self.calls_routed,
+            stalled_calls=stats.stalled_calls - self.stalled_calls,
+            queued_while_stalled=stats.queued_while_stalled - self.queued_while_stalled,
+            max_stall_queue_depth=run_max_depth,
+            connections=(
+                len(self.endpoint.connections) - self.connections if self.endpoint else 0
+            ),
+            replies_sent=(
+                self.endpoint.stats.replies_sent - self.replies_sent if self.endpoint else 0
+            ),
+            publications=publisher.stats.publications - self.publications,
+            forced_publications=(
+                publisher.stats.forced_publications - self.forced_publications
+            ),
+            stale_call_publications=(
+                publisher.stats.stale_call_publications - self.stale_call_publications
+            ),
+            interface_version=publisher.version,
+        )
+
+
+class _NodeSnapshot:
+    """Pre-run CPU counters for one server machine.
+
+    Like the stall-queue depth, ``max_queue_delay`` is a high-water gauge,
+    not a delta-able counter: it is zeroed for the run and the lifetime
+    maximum is restored when the report is built.
+    """
+
+    def __init__(self, node) -> None:
+        self.node = node
+        core = node.server_core
+        self.core = core
+        if core is not None:
+            self.busy_seconds = core.busy_seconds
+            self.waited_seconds = core.waited_seconds
+            self.lifetime_max_wait = core.max_queue_delay
+            core.max_queue_delay = 0.0
+        else:
+            self.busy_seconds = 0.0
+            self.waited_seconds = 0.0
+            self.lifetime_max_wait = 0.0
+
+    def restore_gauges(self) -> None:
+        """Put the lifetime high-water mark back (abnormal-exit path)."""
+        if self.core is not None:
+            self.core.max_queue_delay = max(
+                self.core.max_queue_delay, self.lifetime_max_wait
+            )
+
+    def report(self) -> NodeReport:
+        """Build this node's per-run report and restore lifetime gauges."""
+        core = self.core
+        if core is None:
+            return NodeReport(name=self.node.name, cores=None)
+        run_max_wait = core.max_queue_delay
+        core.max_queue_delay = max(run_max_wait, self.lifetime_max_wait)
+        return NodeReport(
+            name=self.node.name,
+            cores=core.cores,
+            busy_seconds=core.busy_seconds - self.busy_seconds,
+            waited_seconds=core.waited_seconds - self.waited_seconds,
+            max_core_wait=run_max_wait,
+        )
+
+
+def transport_endpoint(call_handler):
+    """Best-effort transport endpoint of a call handler, any technology.
+
+    The SOAP handler exposes it through its HTTP server, the CORBA handler
+    through its server ORB; a third-party handler may expose ``endpoint``
+    directly, or nothing at all (connection/reply deltas then read 0).
+    """
+    http_server = getattr(call_handler, "http_server", None)
+    if http_server is not None:
+        return http_server.endpoint
+    orb = getattr(call_handler, "orb", None)
+    if orb is not None:
+        return orb.endpoint
+    return getattr(call_handler, "endpoint", None)
+
+
+class FleetDriver:
+    """Run a fleet of clients against the registry's services and report."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        registry: ServiceRegistry,
+        plans: Iterable[ClientPlan],
+        scripted_events: Iterable[tuple[float, Callable[[], None]]] = (),
+        protocol_factories: dict[str, ProtocolClientFactory] | None = None,
+        description: str = "cluster fleet",
+        until: float | None = None,  # run-relative horizon, like the offsets
+    ) -> None:
+        self.scheduler = scheduler
+        self.registry = registry
+        self.plans = tuple(plans)
+        self.scripted_events = tuple(scripted_events)
+        self._protocol_factories = protocol_factories or {}
+        self.description = description
+        self.until = until
+        #: Set once the measured window ends; leftover client events (think
+        #: timers, in-flight replies of a deadline-cut run) become no-ops so
+        #: they cannot contaminate a later run on the same world.
+        self.closed = False
+        self.clients = [_FleetClient(self, plan) for plan in self.plans]
+        self._finished_clients = 0
+
+    def protocol_factory(self, name: str) -> ProtocolClientFactory:
+        """Scenario-local client-stack factory, else the global registry."""
+        local = self._protocol_factories.get(name)
+        return local if local is not None else client_protocol_factory(name)
+
+    def run(self) -> ClusterReport:
+        """Prepare the fleet, run it to completion, and report."""
+        for client in self.clients:
+            client.prepare()
+
+        snapshots = [
+            _ReplicaSnapshot(replica)
+            for service in self.registry.services
+            for replica in service.replicas
+        ]
+        nodes = []
+        seen_nodes = set()
+        for service in self.registry.services:
+            for replica in service.replicas:
+                if id(replica.node) not in seen_nodes:
+                    seen_nodes.add(id(replica.node))
+                    nodes.append(replica.node)
+        node_snapshots = [_NodeSnapshot(node) for node in nodes]
+
+        try:
+            started_at = self.scheduler.now
+            events_before = self.scheduler.dispatched_count
+            for offset, action in self.scripted_events:
+                self.scheduler.schedule(
+                    offset, self._guard(action), label="workload scripted event"
+                )
+            for client in self.clients:
+                self.scheduler.schedule(
+                    client.plan.start_offset,
+                    client.start,
+                    label=f"{client.report.name} start",
+                )
+            deadline = started_at + self.until if self.until is not None else None
+            if deadline is not None:
+                # A sentinel pins an event at the deadline, so the stop
+                # predicate triggers exactly there even when the queue is
+                # sparse — without it, run_until would first dispatch
+                # whatever event lies beyond the horizon and overshoot.
+                self.scheduler.schedule(self.until, _noop, label="run deadline")
+            if self.clients:
+                self.scheduler.run_until(
+                    lambda: self._finished_clients == len(self.clients)
+                    or (deadline is not None and self.scheduler.now >= deadline),
+                    description=self.description,
+                )
+            if deadline is not None and self.scheduler.now < deadline:
+                self.scheduler.run_for(deadline - self.scheduler.now)
+            finished_at = self.scheduler.now
+        except BaseException:
+            # An event (a user timeline action, a handler) raised out of the
+            # window: the zeroed high-water gauges must still be restored.
+            for snapshot in snapshots:
+                snapshot.restore_gauges()
+            for node_snapshot in node_snapshots:
+                node_snapshot.restore_gauges()
+            raise
+        finally:
+            # Whatever happened, leftover fleet events must go quiet.
+            self.closed = True
+
+        service_reports = []
+        snapshot_by_replica = {id(s.replica): s for s in snapshots}
+        for service in self.registry.services:
+            service_reports.append(
+                ServiceReport(
+                    name=service.name,
+                    technology=service.technology,
+                    policy=service.policy.name,
+                    replicas=[
+                        snapshot_by_replica[id(replica)].report()
+                        for replica in service.replicas
+                    ],
+                )
+            )
+        node_reports = [node_snapshot.report() for node_snapshot in node_snapshots]
+        return ClusterReport(
+            started_at=started_at,
+            finished_at=finished_at,
+            clients=[client.report for client in self.clients],
+            services=service_reports,
+            nodes=node_reports,
+            events_dispatched=self.scheduler.dispatched_count - events_before,
+        )
+
+    def _guard(self, action: Callable[[], None]) -> Callable[[], None]:
+        """Make a scripted event a no-op once this run's window has closed,
+        so a timeline entry beyond a deadline cannot fire into a later run."""
+
+        def fire() -> None:
+            if not self.closed:
+                action()
+
+        return fire
+
+    def _client_finished(self) -> None:
+        self._finished_clients += 1
+
+
+def _noop() -> None:
+    """The deadline sentinel: dispatching it only advances the clock."""

@@ -1,0 +1,192 @@
+"""Client-side protocol stacks for the fleet driver.
+
+The server side of a scenario is already technology-independent (the SDE
+Manager drives any registered :class:`~repro.core.sde.api.Technology`); this
+module makes the *client* side pluggable too.  A :class:`ProtocolClient`
+owns one simulated client machine's middleware stack for one protocol and
+knows how to
+
+* ``prepare()`` — fetch and parse the published interface documents of
+  every replica it may be routed to (blocking, before the measured window);
+* ``call(replica, operation, arguments)`` — issue one asynchronous call and
+  return the transport :class:`~repro.net.transport.Deferred`;
+* ``classify(value, error)`` — map the reply to one of the outcome
+  categories ``"success"`` / ``"stale"`` / ``"not_initialized"`` /
+  ``"other"``.
+
+``soap`` and ``corba`` are registered by default; a third technology plugs
+in with :func:`register_client_protocol` (or per-scenario via
+``Scenario.technology(..., client=...)``), which is how the §5.3
+extensibility claim is exercised at the Scenario level.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from repro.core.sde.corba_handler import EXC_NON_EXISTENT_METHOD, EXC_SERVER_NOT_INITIALIZED
+from repro.corba.idl import parse_idl
+from repro.corba.orb import ClientOrb, RemoteObjectReference
+from repro.errors import ClusterError, CorbaUserException, MiddlewareError
+from repro.net.http import HttpClient
+from repro.net.simnet import Host
+from repro.net.transport import Deferred
+from repro.soap.envelope import SoapRequest, SoapResponse
+from repro.soap.wsdl import parse_wsdl
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.registry import Replica
+
+OUTCOME_SUCCESS = "success"
+OUTCOME_STALE = "stale"
+OUTCOME_NOT_INITIALIZED = "not_initialized"
+OUTCOME_OTHER = "other"
+
+
+class ProtocolClient:
+    """Base class: one client machine's stack for one protocol."""
+
+    def __init__(self, host: Host, index: int, replicas: Sequence["Replica"]) -> None:
+        self.host = host
+        self.index = index
+        self.replicas = tuple(replicas)
+        self.http = HttpClient(host, name=f"wl-http-{index}")
+
+    # -- interface documents -------------------------------------------------
+
+    def fetch(self, url: str) -> str:
+        """Blocking HTTP fetch of a published interface document."""
+        response = self.http.get(url)
+        if not response.ok:
+            raise MiddlewareError(f"could not retrieve {url}: HTTP {response.status}")
+        return response.body
+
+    def prepare(self) -> None:
+        """Fetch and parse every replica's published documents, in order."""
+        for replica in self.replicas:
+            self.prepare_replica(replica)
+
+    def prepare_replica(self, replica: "Replica") -> None:
+        """Fetch and parse one replica's published documents."""
+        raise NotImplementedError
+
+    # -- the call path -------------------------------------------------------
+
+    def call(self, replica: "Replica", operation: str, arguments: tuple[Any, ...]) -> Deferred:
+        """Issue one asynchronous call against ``replica``."""
+        raise NotImplementedError
+
+    def classify(self, value: Any, error: BaseException | None) -> str:
+        """Map a resolved reply to an outcome category."""
+        raise NotImplementedError
+
+
+class SoapProtocolClient(ProtocolClient):
+    """SOAP-over-HTTP client stack (WSDL description + envelope codec)."""
+
+    def __init__(self, host: Host, index: int, replicas: Sequence["Replica"]) -> None:
+        super().__init__(host, index, replicas)
+        self._descriptions: dict[int, Any] = {}
+        self._registries: dict[int, Any] = {}
+
+    def prepare_replica(self, replica: "Replica") -> None:
+        document = self.fetch(replica.publisher.document_url)
+        description = parse_wsdl(document)
+        self._descriptions[replica.index] = description
+        self._registries[replica.index] = description.type_registry()
+
+    def call(self, replica: "Replica", operation: str, arguments: tuple[Any, ...]) -> Deferred:
+        description = self._descriptions[replica.index]
+        registry = self._registries[replica.index]
+        request = SoapRequest.for_call(
+            operation, arguments, namespace=description.namespace, registry=registry
+        )
+        wire = self.http.request_async(
+            "POST",
+            description.endpoint_url,
+            body=request.to_xml(),
+            headers={"Content-Type": "text/xml; charset=utf-8"},
+        )
+
+        def decode(response, error):
+            if error is not None:
+                raise error
+            if not response.ok:
+                raise MiddlewareError(f"SOAP endpoint returned HTTP {response.status}")
+            return SoapResponse.from_xml(response.body, registry)
+
+        return wire.transform(decode)
+
+    def classify(self, value: Any, error: BaseException | None) -> str:
+        if error is not None:
+            return OUTCOME_OTHER
+        if not value.is_fault:
+            return OUTCOME_SUCCESS
+        if value.fault.is_non_existent_method:
+            return OUTCOME_STALE
+        if value.fault.is_server_not_initialized:
+            return OUTCOME_NOT_INITIALIZED
+        return OUTCOME_OTHER
+
+
+class CorbaProtocolClient(ProtocolClient):
+    """CORBA/GIOP client stack (IDL description + ORB remote references)."""
+
+    def __init__(self, host: Host, index: int, replicas: Sequence["Replica"]) -> None:
+        super().__init__(host, index, replicas)
+        self.orb: ClientOrb | None = None
+        self._descriptions: dict[int, Any] = {}
+        self._remotes: dict[int, RemoteObjectReference] = {}
+
+    def prepare_replica(self, replica: "Replica") -> None:
+        document = self.fetch(replica.publisher.document_url)
+        self._descriptions[replica.index] = parse_idl(document)
+        if self.orb is None:
+            self.orb = ClientOrb(self.host)
+        ior_text = self.fetch(replica.publisher.ior_url)  # type: ignore[attr-defined]
+        self._remotes[replica.index] = self.orb.string_to_object(ior_text.strip())
+
+    def call(self, replica: "Replica", operation: str, arguments: tuple[Any, ...]) -> Deferred:
+        return self._remotes[replica.index].invoke_async(operation, *arguments)
+
+    def classify(self, value: Any, error: BaseException | None) -> str:
+        if error is None:
+            return OUTCOME_SUCCESS
+        if isinstance(error, CorbaUserException) and error.type_name == EXC_NON_EXISTENT_METHOD:
+            return OUTCOME_STALE
+        if isinstance(error, CorbaUserException) and error.type_name == EXC_SERVER_NOT_INITIALIZED:
+            return OUTCOME_NOT_INITIALIZED
+        return OUTCOME_OTHER
+
+
+#: A protocol-client factory: ``(host, client_index, replicas) -> ProtocolClient``.
+ProtocolClientFactory = Callable[[Host, int, Sequence["Replica"]], ProtocolClient]
+
+_CLIENT_PROTOCOLS: dict[str, ProtocolClientFactory] = {
+    "soap": SoapProtocolClient,
+    "corba": CorbaProtocolClient,
+}
+
+
+def register_client_protocol(
+    name: str, factory: ProtocolClientFactory, override: bool = False
+) -> None:
+    """Register a client-side stack for a (possibly third-party) technology."""
+    if name in _CLIENT_PROTOCOLS and not override:
+        raise ClusterError(f"client protocol {name!r} is already registered")
+    _CLIENT_PROTOCOLS[name] = factory
+
+
+def client_protocol_factory(name: str) -> ProtocolClientFactory:
+    """The registered client-stack factory for ``name``."""
+    factory = _CLIENT_PROTOCOLS.get(name)
+    if factory is None:
+        raise ClusterError(
+            f"no client protocol {name!r}; registered: {sorted(_CLIENT_PROTOCOLS)}"
+        )
+    return factory
+
+
+def registered_client_protocols() -> tuple[str, ...]:
+    """Names of every globally registered client protocol."""
+    return tuple(_CLIENT_PROTOCOLS)

@@ -1,0 +1,227 @@
+"""Service registry and replica-selection policies.
+
+A scenario's services are N-replica entities: one logical name backed by
+managed server classes spread across the world's server nodes.  The
+registry resolves a service name to a :class:`ServiceEntry` through the
+transport layer's :class:`~repro.net.transport.RouteTable` (O(1) exact
+match, registration-order prefix aliases), and each entry picks a replica
+per call through a pluggable policy:
+
+* **round-robin** — a global cyclic counter, so consecutive calls (in
+  deterministic event order) rotate through the replicas;
+* **sticky** — the first call of each client pins it to a replica
+  (spread round-robin); every later call of that client lands on the same
+  replica, surviving mid-run publications and edits;
+* **least-loaded** — the replica with the fewest in-flight calls at
+  selection time, ties broken by replica index.
+
+All three are deterministic: selection depends only on the (deterministic)
+order in which calls are issued.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Hashable
+
+from repro.errors import ClusterError, ServiceNotFoundError
+from repro.net.transport import RouteTable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.sde.manager import ManagedServer
+    from repro.cluster.topology import ServerNode
+
+POLICY_ROUND_ROBIN = "round-robin"
+POLICY_STICKY = "sticky"
+POLICY_LEAST_LOADED = "least-loaded"
+
+#: Prefix-route scope used for service-name aliases in the route table.
+_ALIAS_SCOPE = "service-alias"
+
+
+@dataclass
+class Replica:
+    """One deployed copy of a service: a managed server on some node."""
+
+    service: str
+    index: int
+    node: "ServerNode"
+    managed: "ManagedServer"
+    #: Calls currently awaiting a reply from this replica.
+    in_flight: int = 0
+    #: Calls ever routed to this replica.
+    calls_routed: int = 0
+
+    @property
+    def class_name(self) -> str:
+        """The dynamic-class name backing this replica."""
+        return self.managed.name
+
+    @property
+    def publisher(self):
+        """The replica's interface publisher."""
+        return self.managed.publisher
+
+    @property
+    def call_handler(self):
+        """The replica's RMI call handler."""
+        return self.managed.call_handler
+
+    def __repr__(self) -> str:
+        return (
+            f"Replica({self.service}#{self.index} on {self.node.name}, "
+            f"in_flight={self.in_flight})"
+        )
+
+
+class ReplicaPolicy:
+    """Base class for replica-selection policies."""
+
+    name = "abstract"
+
+    def select(self, replicas: list[Replica], client_key: Hashable) -> Replica:
+        """Pick the replica that should serve ``client_key``'s next call."""
+        raise NotImplementedError
+
+
+class RoundRobinPolicy(ReplicaPolicy):
+    """Cycle through the replicas in index order, one call at a time."""
+
+    name = POLICY_ROUND_ROBIN
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select(self, replicas: list[Replica], client_key: Hashable) -> Replica:
+        replica = replicas[self._next % len(replicas)]
+        self._next += 1
+        return replica
+
+
+class StickyPolicy(ReplicaPolicy):
+    """Pin each client to one replica; first contact assigns round-robin."""
+
+    name = POLICY_STICKY
+
+    def __init__(self) -> None:
+        self._pins: dict[Hashable, int] = {}
+        self._next = 0
+
+    def select(self, replicas: list[Replica], client_key: Hashable) -> Replica:
+        pin = self._pins.get(client_key)
+        if pin is None:
+            pin = self._next % len(replicas)
+            self._next += 1
+            self._pins[client_key] = pin
+        return replicas[pin % len(replicas)]
+
+
+class LeastLoadedPolicy(ReplicaPolicy):
+    """Pick the replica with the fewest in-flight calls (ties: lowest index)."""
+
+    name = POLICY_LEAST_LOADED
+
+    def select(self, replicas: list[Replica], client_key: Hashable) -> Replica:
+        return min(replicas, key=lambda replica: (replica.in_flight, replica.index))
+
+
+_POLICY_FACTORIES = {
+    POLICY_ROUND_ROBIN: RoundRobinPolicy,
+    POLICY_STICKY: StickyPolicy,
+    POLICY_LEAST_LOADED: LeastLoadedPolicy,
+}
+
+
+def make_policy(policy: "str | ReplicaPolicy") -> ReplicaPolicy:
+    """Resolve a policy name (or pass through a policy instance)."""
+    if isinstance(policy, ReplicaPolicy):
+        return policy
+    factory = _POLICY_FACTORIES.get(policy)
+    if factory is None:
+        raise ClusterError(
+            f"unknown replica policy {policy!r}; known: {sorted(_POLICY_FACTORIES)}"
+        )
+    return factory()
+
+
+@dataclass
+class ServiceEntry:
+    """One logical service: a name, a technology, a policy, its replicas."""
+
+    name: str
+    technology: str
+    policy: ReplicaPolicy = field(default_factory=RoundRobinPolicy)
+    replicas: list[Replica] = field(default_factory=list)
+
+    def add_replica(self, node: "ServerNode", managed: "ManagedServer") -> Replica:
+        """Attach one more deployed copy of this service."""
+        replica = Replica(
+            service=self.name, index=len(self.replicas), node=node, managed=managed
+        )
+        self.replicas.append(replica)
+        return replica
+
+    def select(self, client_key: Hashable) -> Replica:
+        """Pick the replica for ``client_key``'s next call."""
+        if not self.replicas:
+            raise ClusterError(f"service {self.name!r} has no replicas")
+        return self.policy.select(self.replicas, client_key)
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceEntry({self.name!r}, {self.technology}, "
+            f"policy={self.policy.name}, replicas={len(self.replicas)})"
+        )
+
+
+class ServiceRegistry:
+    """Name → service resolution on top of the transport route table."""
+
+    def __init__(self) -> None:
+        self._routes: RouteTable[ServiceEntry] = RouteTable()
+        self._services: list[ServiceEntry] = []
+
+    def register(self, entry: ServiceEntry) -> ServiceEntry:
+        """Register a service under its exact name."""
+        if any(existing.name == entry.name for existing in self._services):
+            raise ClusterError(f"service {entry.name!r} is already registered")
+        self._routes.add_exact(entry.name, entry)
+        self._services.append(entry)
+        return entry
+
+    def add_alias(self, prefix: str, service_name: str) -> None:
+        """Route every name starting with ``prefix`` to ``service_name``."""
+        self._routes.add_prefix(_ALIAS_SCOPE, prefix, self.lookup(service_name))
+
+    def lookup(self, name: str) -> ServiceEntry:
+        """Resolve a service name (exact, then registered prefix aliases)."""
+        entry = self._routes.lookup(name, prefix_scope=_ALIAS_SCOPE, path=name)
+        if entry is None:
+            raise ServiceNotFoundError(
+                f"no service {name!r}; registered: {[s.name for s in self._services]}"
+            )
+        return entry
+
+    def select(self, name: str, client_key: Hashable) -> Replica:
+        """Pick (and account) the replica for ``client_key``'s next call."""
+        replica = self.lookup(name).select(client_key)
+        replica.calls_routed += 1
+        return replica
+
+    @staticmethod
+    def begin_call(replica: Replica) -> None:
+        """Note a call in flight to ``replica`` (least-loaded accounting)."""
+        replica.in_flight += 1
+
+    @staticmethod
+    def end_call(replica: Replica) -> None:
+        """Note a call to ``replica`` completed."""
+        replica.in_flight -= 1
+
+    @property
+    def services(self) -> tuple[ServiceEntry, ...]:
+        """Every registered service, in registration order."""
+        return tuple(self._services)
+
+    def __repr__(self) -> str:
+        return f"ServiceRegistry({[s.name for s in self._services]})"

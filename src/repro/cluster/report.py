@@ -1,0 +1,282 @@
+"""Unified result objects for cluster scenario runs.
+
+One :class:`ClusterReport` describes everything a scenario run observed,
+across every protocol in play:
+
+* per-client call outcomes (:class:`ClientReport`) — RTT sequences, fault
+  classification, and the replica each call was routed to;
+* per-service / per-replica server-side accounting
+  (:class:`ServiceReport` / :class:`ReplicaReport`) — §5.7 stall-queue
+  numbers, transport connection and reply counters, and publication
+  metrics (versions published during the run, forced and stale-call
+  publications);
+* per-server-machine CPU accounting (:class:`NodeReport`) when the node
+  runs with a bounded core count.
+
+All counters are *per run*: the fleet driver snapshots the underlying
+lifetime statistics before the measured window and reports deltas, so
+repeated runs against one world do not bleed into each other.  The legacy
+:class:`repro.workload.WorkloadReport` is a single-service projection of
+this report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ClientReport:
+    """What one fleet client observed.
+
+    The first six fields are the legacy ``repro.workload.ClientResult``
+    layout (kept positionally compatible); the cluster layer adds the
+    client's protocol, target service and per-call replica routing.
+    """
+
+    name: str
+    rtts: list[float] = field(default_factory=list)
+    successes: int = 0
+    stale_faults: int = 0
+    not_initialized_faults: int = 0
+    other_faults: int = 0
+    protocol: str = ""
+    service: str = ""
+    #: Replica index (within the service) each call was routed to, in call order.
+    replica_sequence: list[int] = field(default_factory=list)
+
+    @property
+    def calls(self) -> int:
+        """Calls this client completed (successes plus faults)."""
+        return len(self.rtts)
+
+    @property
+    def mean_rtt(self) -> float:
+        """Mean round-trip time over this client's calls."""
+        return sum(self.rtts) / len(self.rtts) if self.rtts else 0.0
+
+    @property
+    def max_rtt(self) -> float:
+        """Worst round-trip time this client saw."""
+        return max(self.rtts) if self.rtts else 0.0
+
+
+@dataclass
+class ReplicaReport:
+    """Server-side accounting for one replica of a service, for one run."""
+
+    service: str
+    index: int
+    #: Name of the server host this replica runs on.
+    node: str
+    #: The managed dynamic-class name backing this replica.
+    class_name: str
+    #: Calls the routing policy sent to this replica during the run.
+    calls_routed: int = 0
+    stalled_calls: int = 0
+    queued_while_stalled: int = 0
+    max_stall_queue_depth: int = 0
+    #: Transport connections this run's fleet opened to the replica.
+    connections: int = 0
+    replies_sent: int = 0
+    #: Interface publications that happened during the run (any cause).
+    publications: int = 0
+    forced_publications: int = 0
+    stale_call_publications: int = 0
+    #: Published interface version when the run finished.
+    interface_version: int = 0
+
+
+@dataclass
+class ServiceReport:
+    """Aggregate server-side view of one service across its replicas."""
+
+    name: str
+    technology: str
+    policy: str
+    replicas: list[ReplicaReport] = field(default_factory=list)
+
+    @property
+    def replica_count(self) -> int:
+        """Number of replicas serving this service."""
+        return len(self.replicas)
+
+    @property
+    def calls_routed(self) -> int:
+        """Calls routed to this service across all replicas."""
+        return sum(replica.calls_routed for replica in self.replicas)
+
+    @property
+    def stalled_calls(self) -> int:
+        """§5.7 stalled calls across all replicas."""
+        return sum(replica.stalled_calls for replica in self.replicas)
+
+    @property
+    def queued_while_stalled(self) -> int:
+        """Calls that queued behind a stall across all replicas."""
+        return sum(replica.queued_while_stalled for replica in self.replicas)
+
+    @property
+    def max_stall_queue_depth(self) -> int:
+        """Deepest stall queue any replica saw during the run."""
+        return max(
+            (replica.max_stall_queue_depth for replica in self.replicas), default=0
+        )
+
+    @property
+    def connections(self) -> int:
+        """Transport connections opened to this service during the run."""
+        return sum(replica.connections for replica in self.replicas)
+
+    @property
+    def replies_sent(self) -> int:
+        """Replies this service's endpoints sent during the run."""
+        return sum(replica.replies_sent for replica in self.replicas)
+
+    @property
+    def publications(self) -> int:
+        """Interface publications across all replicas during the run."""
+        return sum(replica.publications for replica in self.replicas)
+
+    @property
+    def interface_version(self) -> int:
+        """Highest published interface version across the replicas."""
+        return max((replica.interface_version for replica in self.replicas), default=0)
+
+
+@dataclass
+class NodeReport:
+    """Bounded-CPU accounting for one server machine, for one run."""
+
+    name: str
+    #: Configured core count (``None`` = unbounded, the seed model).
+    cores: int | None = None
+    busy_seconds: float = 0.0
+    waited_seconds: float = 0.0
+    max_core_wait: float = 0.0
+
+
+@dataclass
+class ClusterReport:
+    """Everything one scenario run observed, across services and protocols."""
+
+    started_at: float
+    finished_at: float
+    clients: list[ClientReport] = field(default_factory=list)
+    services: list[ServiceReport] = field(default_factory=list)
+    nodes: list[NodeReport] = field(default_factory=list)
+    #: Scheduler events dispatched inside the measured window — a fully
+    #: deterministic proxy for how much simulated work the run performed.
+    events_dispatched: int = 0
+
+    # -- lookups ------------------------------------------------------------
+
+    def service(self, name: str) -> ServiceReport:
+        """The report for the named service."""
+        for entry in self.services:
+            if entry.name == name:
+                return entry
+        raise KeyError(f"no service {name!r} in this report")
+
+    def clients_for(self, service: str) -> list[ClientReport]:
+        """The clients that targeted ``service``, in start order."""
+        return [client for client in self.clients if client.service == service]
+
+    def rtts_for(self, service: str) -> list[float]:
+        """Every RTT observed against ``service``, grouped by client."""
+        return [rtt for client in self.clients_for(service) for rtt in client.rtts]
+
+    # -- fleet-wide aggregates ---------------------------------------------
+
+    @property
+    def duration(self) -> float:
+        """Virtual seconds from first call issued to last reply received."""
+        return self.finished_at - self.started_at
+
+    @property
+    def total_calls(self) -> int:
+        """Calls completed across the whole fleet."""
+        return sum(client.calls for client in self.clients)
+
+    @property
+    def total_successes(self) -> int:
+        """Successful calls across the whole fleet."""
+        return sum(client.successes for client in self.clients)
+
+    @property
+    def total_stale_faults(self) -> int:
+        """Stale-method ("Non existent Method") faults across the fleet."""
+        return sum(client.stale_faults for client in self.clients)
+
+    @property
+    def total_not_initialized_faults(self) -> int:
+        """"Server Not Initialized" faults across the fleet."""
+        return sum(client.not_initialized_faults for client in self.clients)
+
+    @property
+    def total_other_faults(self) -> int:
+        """Unclassified faults across the fleet."""
+        return sum(client.other_faults for client in self.clients)
+
+    @property
+    def all_rtts(self) -> list[float]:
+        """Every observed RTT, grouped by client in start order."""
+        return [rtt for client in self.clients for rtt in client.rtts]
+
+    @property
+    def mean_rtt(self) -> float:
+        """Fleet-wide mean round-trip time."""
+        rtts = self.all_rtts
+        return sum(rtts) / len(rtts) if rtts else 0.0
+
+    @property
+    def max_rtt(self) -> float:
+        """Fleet-wide worst round-trip time."""
+        rtts = self.all_rtts
+        return max(rtts) if rtts else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Completed calls per virtual second."""
+        return self.total_calls / self.duration if self.duration > 0 else 0.0
+
+    # -- server-side aggregates (single-service workload compatibility) -----
+
+    @property
+    def stalled_calls(self) -> int:
+        """§5.7 stalled calls across every service."""
+        return sum(service.stalled_calls for service in self.services)
+
+    @property
+    def queued_while_stalled(self) -> int:
+        """Calls queued behind a stall across every service."""
+        return sum(service.queued_while_stalled for service in self.services)
+
+    @property
+    def max_stall_queue_depth(self) -> int:
+        """Deepest stall queue any replica of any service saw."""
+        return max(
+            (service.max_stall_queue_depth for service in self.services), default=0
+        )
+
+    @property
+    def server_connections(self) -> int:
+        """Transport connections this run's fleet opened, fleet-wide."""
+        return sum(service.connections for service in self.services)
+
+    @property
+    def server_replies_sent(self) -> int:
+        """Replies sent by every service endpoint during the run."""
+        return sum(service.replies_sent for service in self.services)
+
+    @property
+    def publications(self) -> int:
+        """Interface publications across every service during the run."""
+        return sum(service.publications for service in self.services)
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterReport(clients={len(self.clients)}, "
+            f"services={[s.name for s in self.services]}, "
+            f"calls={self.total_calls}, duration={self.duration:.4f})"
+        )

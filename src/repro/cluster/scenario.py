@@ -1,0 +1,591 @@
+"""The declarative Scenario API: describe a whole simulated world, run it.
+
+One :class:`Scenario` describes an N-server × M-client live-development
+world — machines, services with replicas and routing policies, client
+fleets with protocol mixes, and a timeline of developer actions — then
+``run()`` builds it, drives it deterministically on the discrete-event
+scheduler, and returns a :class:`~repro.cluster.report.ClusterReport`::
+
+    report = (
+        Scenario()
+        .servers(4, cores=2)
+        .service("Echo", [op("echo", [("m", STRING)], STRING, body=lambda s, m: m)],
+                 replicas=4)
+        .clients(64, protocol_mix={"soap": 0.5, "corba": 0.5},
+                 calls=5, operation="echo", arguments=("hi",))
+        .at(0.5, edit("Echo", op("added_later")))
+        .at(0.6, publish("Echo"))
+        .run()
+    )
+
+``build()`` returns the underlying :class:`ScenarioRuntime` instead, for
+interactive use (connect a CDE binding, edit classes, publish, inspect) —
+the workflow the examples walk through.
+
+The API is protocol-agnostic end to end: ``technology()`` registers a
+third :class:`~repro.core.sde.api.Technology` on every server node and a
+matching client-side stack, after which services and clients can use it
+exactly like the SOAP and CORBA built-ins (the §5.3 extensibility claim,
+lifted to the scenario layer).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.cluster.driver import ClientPlan, FleetDriver
+from repro.cluster.protocols import ProtocolClientFactory
+from repro.cluster.registry import (
+    POLICY_ROUND_ROBIN,
+    Replica,
+    ServiceEntry,
+    ServiceRegistry,
+    make_policy,
+)
+from repro.cluster.report import ClusterReport
+from repro.cluster.topology import ClusterWorld, ServerNode
+from repro.core.cde import ClientDevelopmentEnvironment, DynamicClientBinding
+from repro.core.sde import SDEConfig, Technology
+from repro.errors import ClusterError
+from repro.interface import Parameter
+from repro.jpie import DynamicClass
+from repro.net import LatencyModel
+from repro.rmitypes import RmiType, VOID
+
+#: Default protocol for services that do not name a technology.
+DEFAULT_TECHNOLOGY = "soap"
+
+
+@dataclass
+class OperationSpec:
+    """A compact way to describe a distributed method."""
+
+    name: str
+    parameters: tuple[tuple[str, RmiType], ...]
+    return_type: RmiType = VOID
+    body: Callable[..., Any] | None = None
+
+    def parameter_objects(self) -> tuple[Parameter, ...]:
+        """Convert the ``(name, type)`` pairs into Parameter objects."""
+        return tuple(Parameter(name, rmi_type) for name, rmi_type in self.parameters)
+
+
+def op(
+    name: str,
+    parameters: Iterable[tuple[str, RmiType]] = (),
+    returns: RmiType = VOID,
+    body: Callable[..., Any] | None = None,
+) -> OperationSpec:
+    """Describe one distributed operation (`op/edit` helper)."""
+    return OperationSpec(name, tuple(parameters), returns, body)
+
+
+# -- timeline action helpers ---------------------------------------------------
+
+
+def edit(service: str, *operations: OperationSpec):
+    """Timeline action: add distributed methods to every replica of a service."""
+
+    def action(runtime: "ScenarioRuntime") -> None:
+        for replica in runtime.replicas(service):
+            for spec in operations:
+                replica.managed.dynamic_class.add_method(
+                    spec.name,
+                    spec.parameter_objects(),
+                    spec.return_type,
+                    body=spec.body,
+                    distributed=True,
+                )
+
+    return action
+
+
+def publish(service: str):
+    """Timeline action: force publication on every replica of a service."""
+
+    def action(runtime: "ScenarioRuntime") -> None:
+        for replica in runtime.replicas(service):
+            replica.node.manager_interface.force_publication(replica.class_name)
+
+    return action
+
+
+def churn(service: str, rounds: int = 3, period: float = 1.0, prefix: str = "churned_op_"):
+    """Timeline action: repeated edit+publish rounds (interface churn).
+
+    Every ``period`` virtual seconds, for ``rounds`` rounds, one new
+    distributed method is added to every replica of ``service`` and a
+    publication is forced — sustained interface churn under load.
+    """
+
+    def action(runtime: "ScenarioRuntime") -> None:
+        state = {"round": 0}
+        epoch = runtime.run_epoch
+
+        def one_round() -> None:
+            if runtime.run_epoch != epoch:
+                # A later run() started: this churn sequence belongs to a
+                # finished window and must not leak edits into the new one.
+                return
+            index = state["round"]
+            state["round"] += 1
+            for replica in runtime.replicas(service):
+                replica.managed.dynamic_class.add_method(
+                    f"{prefix}{index}", (), VOID, body=lambda _self: None, distributed=True
+                )
+                replica.node.manager_interface.force_publication(replica.class_name)
+            if state["round"] < rounds:
+                runtime.world.scheduler.schedule(period, one_round, label="interface churn")
+
+        one_round()
+
+    return action
+
+
+# -- declarative specs ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ServiceSpec:
+    name: str
+    operations: tuple[OperationSpec, ...]
+    technology: str | None
+    replicas: int
+    policy: Any
+
+
+@dataclass(frozen=True)
+class _ClientGroupSpec:
+    count: int
+    protocol_mix: tuple[tuple[str, float], ...] | None
+    service: str | None
+    calls: int
+    operation: str | None
+    arguments: tuple[Any, ...]
+    think_time: float
+    arrival: Any
+    stale_every: int | None
+    stale_operation: str
+
+
+class Scenario:
+    """Declarative description of an N-server × M-client simulated world."""
+
+    def __init__(
+        self,
+        name: str = "scenario",
+        latency: LatencyModel | None = None,
+        sde_config: SDEConfig | None = None,
+    ) -> None:
+        self.name = name
+        self._latency = latency
+        self._base_config = sde_config
+        self._server_count = 1
+        self._server_cores: int | None = None
+        self._default_technology: str | None = None
+        self._technologies: list[tuple[Technology, ProtocolClientFactory | None]] = []
+        self._services: list[_ServiceSpec] = []
+        self._client_groups: list[_ClientGroupSpec] = []
+        self._timeline: list[tuple[float, Callable[..., None]]] = []
+
+    # -- machines -----------------------------------------------------------
+
+    def servers(
+        self,
+        count: int = 1,
+        *,
+        cores: int | None = None,
+        technology: str | None = None,
+        config: SDEConfig | None = None,
+    ) -> "Scenario":
+        """Declare the server fleet: ``count`` machines, each its own SDE.
+
+        ``cores`` bounds every machine's CPU concurrency; ``technology``
+        sets the default technology for services that do not name one;
+        ``config`` overrides the scenario-wide :class:`SDEConfig` template.
+        """
+        if count < 1:
+            raise ClusterError("a scenario needs at least one server")
+        self._server_count = count
+        self._server_cores = cores
+        if technology is not None:
+            self._default_technology = technology
+        if config is not None:
+            self._base_config = config
+        return self
+
+    def technology(
+        self, technology: Technology, *, client: ProtocolClientFactory | None = None
+    ) -> "Scenario":
+        """Register a third :class:`Technology` on every server node.
+
+        ``client`` supplies the matching client-side stack factory; without
+        it the technology must already have a globally registered client
+        protocol (see :func:`repro.cluster.protocols.register_client_protocol`).
+        """
+        self._technologies.append((technology, client))
+        return self
+
+    # -- services -----------------------------------------------------------
+
+    def service(
+        self,
+        name: str,
+        operations: Iterable[OperationSpec] = (),
+        *,
+        technology: str | None = None,
+        replicas: int = 1,
+        policy: Any = POLICY_ROUND_ROBIN,
+    ) -> "Scenario":
+        """Declare a service: replicas spread round-robin over the servers."""
+        if replicas < 1:
+            raise ClusterError(f"service {name!r} needs at least one replica")
+        self._services.append(
+            _ServiceSpec(name, tuple(operations), technology, replicas, policy)
+        )
+        return self
+
+    # -- clients ------------------------------------------------------------
+
+    def clients(
+        self,
+        count: int,
+        *,
+        protocol_mix: dict[str, float] | None = None,
+        service: str | None = None,
+        calls: int = 10,
+        operation: str | None = None,
+        arguments: tuple[Any, ...] = (),
+        think_time: float = 0.0,
+        arrival: Any = 0.0,
+        stale_every: int | None = None,
+        stale_operation: str = "no_such_operation",
+    ) -> "Scenario":
+        """Declare a fleet of ``count`` clients.
+
+        Each client targets either the named ``service`` or — under a
+        ``protocol_mix`` like ``{"soap": 0.5, "corba": 0.5}`` — the first
+        declared service of its assigned protocol; protocols are assigned by
+        a deterministic weighted interleave.  ``arrival`` staggers start
+        times: a float ``s`` starts client *i* at ``i * s``, a callable maps
+        the client index to its offset.  ``operation`` defaults to the first
+        operation declared for the target service.
+        """
+        if count < 1:
+            raise ClusterError("a client group needs at least one client")
+        if service is not None and protocol_mix is not None:
+            raise ClusterError("give a client group either a service or a protocol_mix")
+        self._client_groups.append(
+            _ClientGroupSpec(
+                count=count,
+                protocol_mix=tuple(protocol_mix.items()) if protocol_mix else None,
+                service=service,
+                calls=calls,
+                operation=operation,
+                arguments=tuple(arguments),
+                think_time=think_time,
+                arrival=arrival,
+                stale_every=stale_every,
+                stale_operation=stale_operation,
+            )
+        )
+        return self
+
+    # -- timeline -----------------------------------------------------------
+
+    def at(self, time: float, action: Callable[..., None]) -> "Scenario":
+        """Schedule a developer action at a run-relative virtual time.
+
+        ``action`` is either one of the :func:`edit` / :func:`publish` /
+        :func:`churn` helpers (called with the runtime) or any zero-argument
+        callable.
+        """
+        self._timeline.append((time, action))
+        return self
+
+    # -- execution ----------------------------------------------------------
+
+    def build(self) -> "ScenarioRuntime":
+        """Build the world (servers, services, registry) without running it."""
+        return ScenarioRuntime(self)
+
+    def run(self, until: float | None = None) -> ClusterReport:
+        """Build the world, publish every service, drive the fleet, report."""
+        return self.build().run(until=until)
+
+    def __repr__(self) -> str:
+        return (
+            f"Scenario({self.name!r}, servers={self._server_count}, "
+            f"services={[s.name for s in self._services]}, "
+            f"client_groups={len(self._client_groups)})"
+        )
+
+
+def _weighted_interleave(mix: Sequence[tuple[str, float]], count: int) -> list[str]:
+    """Deterministically spread ``count`` slots over weighted protocol names."""
+    names = [name for name, weight in mix if weight > 0]
+    if not names:
+        raise ClusterError("protocol_mix needs at least one positive weight")
+    weights = dict(mix)
+    total = sum(weights[name] for name in names)
+    assigned = {name: 0 for name in names}
+    sequence = []
+    for slot in range(1, count + 1):
+        # The protocol furthest behind its target share wins the slot
+        # (ties: declaration order), so mixes interleave instead of blocking.
+        name = max(names, key=lambda n: (weights[n] / total) * slot - assigned[n])
+        assigned[name] += 1
+        sequence.append(name)
+    return sequence
+
+
+class ScenarioRuntime:
+    """A built scenario world: servers up, services deployed and registered."""
+
+    def __init__(self, scenario: Scenario) -> None:
+        self.scenario = scenario
+        self.world = ClusterWorld(latency=scenario._latency)
+        base_config = scenario._base_config if scenario._base_config is not None else SDEConfig()
+        self.nodes: list[ServerNode] = []
+        for index in range(scenario._server_count):
+            config = replace(base_config)
+            if scenario._server_cores is not None and config.server_cores is None:
+                config.server_cores = scenario._server_cores
+            # A single-machine scenario keeps the seed's host name (message
+            # sizes embed URLs, so the name feeds size-dependent delays —
+            # this keeps one-server runs byte-comparable with the seed).
+            name = "server" if scenario._server_count == 1 else f"server-{index + 1}"
+            node = self.world.add_server(name, config)
+            for technology, _client in scenario._technologies:
+                node.sde.register_technology(technology)
+            self.nodes.append(node)
+        self._protocol_factories = {
+            technology.name: client
+            for technology, client in scenario._technologies
+            if client is not None
+        }
+        self.registry = ServiceRegistry()
+        self._service_specs: dict[str, _ServiceSpec] = {}
+        self._placement_cursor = 0
+        self._deploy_services()
+        self._cde: ClientDevelopmentEnvironment | None = None
+        self._published_services: set[str] = set()
+        #: Bumped by every run(); self-rescheduling timeline actions (churn)
+        #: compare against it so a finished window's rounds go quiet.
+        self.run_epoch = 0
+
+    # -- deployment ---------------------------------------------------------
+
+    def _default_technology(self) -> str:
+        return self.scenario._default_technology or DEFAULT_TECHNOLOGY
+
+    def _deploy_services(self) -> None:
+        for spec in self.scenario._services:
+            technology_name = spec.technology or self._default_technology()
+            entry = ServiceEntry(spec.name, technology_name, make_policy(spec.policy))
+            suffixed = spec.replicas > len(self.nodes)
+            for index in range(spec.replicas):
+                # The placement cursor advances across services, so a later
+                # service fills the machines an earlier one left idle.
+                node = self.nodes[self._placement_cursor % len(self.nodes)]
+                self._placement_cursor += 1
+                class_name = f"{spec.name}-{index + 1}" if suffixed else spec.name
+                gateway = node.sde.gateway_class(technology_name)
+                dynamic_class = node.environment.create_class(class_name, superclass=gateway)
+                for op_spec in spec.operations:
+                    dynamic_class.add_method(
+                        op_spec.name,
+                        op_spec.parameter_objects(),
+                        op_spec.return_type,
+                        body=op_spec.body,
+                        distributed=True,
+                    )
+                dynamic_class.new_instance()
+                entry.add_replica(node, node.sde.managed_server(class_name))
+            self.registry.register(entry)
+            self._service_specs[spec.name] = spec
+
+    # -- inspection ---------------------------------------------------------
+
+    def replicas(self, service: str) -> list[Replica]:
+        """The deployed replicas of ``service``, in index order."""
+        return self.registry.lookup(service).replicas
+
+    def dynamic_class(self, service: str, replica: int = 0) -> DynamicClass:
+        """The dynamic class backing one replica of ``service``."""
+        return self.replicas(service)[replica].managed.dynamic_class
+
+    def node_of(self, service: str, replica: int = 0) -> ServerNode:
+        """The server node hosting one replica of ``service``."""
+        return self.replicas(service)[replica].node
+
+    # -- interactive developer actions --------------------------------------
+
+    def publish(self, service: str | None = None) -> None:
+        """Force publication (all services by default) and let it complete."""
+        entries: Iterable[ServiceEntry] = (
+            (self.registry.lookup(service),) if service is not None else self.registry.services
+        )
+        self._force_and_settle(entries)
+
+    def _force_and_settle(self, entries: Iterable[ServiceEntry]) -> None:
+        generation_cost = 0.0
+        for entry in entries:
+            for replica in entry.replicas:
+                replica.node.manager_interface.force_publication(replica.class_name)
+                generation_cost = max(generation_cost, replica.node.sde.config.generation_cost)
+            self._published_services.add(entry.name)
+        self.world.run_for(generation_cost * 2)
+
+    def settle(self) -> None:
+        """Let pending stability timers expire and publications complete."""
+        margin = max(
+            node.sde.config.publication_timeout + node.sde.config.generation_cost * 2
+            for node in self.nodes
+        )
+        self.world.run_for(margin + 0.001)
+
+    @property
+    def cde(self) -> ClientDevelopmentEnvironment:
+        """A lazily created CDE session on its own client machine."""
+        if self._cde is None:
+            self._cde = ClientDevelopmentEnvironment(self.world.add_client("cde"))
+        return self._cde
+
+    def connect(
+        self, service: str, replica: int = 0, reactive_updates: bool = True
+    ) -> DynamicClientBinding:
+        """Connect a CDE binding to one replica of a managed service."""
+        entry = self.registry.lookup(service)
+        publisher = entry.replicas[replica].publisher
+        if entry.technology == "soap":
+            return self.cde.connect_soap(publisher.document_url, reactive_updates=reactive_updates)
+        if entry.technology == "corba":
+            return self.cde.connect_corba(
+                publisher.document_url,
+                publisher.ior_url,  # type: ignore[attr-defined]
+                reactive_updates=reactive_updates,
+            )
+        raise ClusterError(f"no CDE binding for technology {entry.technology!r}")
+
+    # -- the measured run ---------------------------------------------------
+
+    def run(self, until: float | None = None) -> ClusterReport:
+        """Publish where still needed, drive the declared fleet, and report.
+
+        Client fleets need current interface documents, so services not yet
+        force-published (manually or by an earlier run) are published first;
+        a client-less timeline run keeps the organic publication behaviour
+        (stability timers, polling) intact.  ``until`` is a run-relative
+        horizon: the run covers ``until`` virtual seconds from the measured
+        window's start, whatever the world's clock already reads.  The
+        timeline is part of the world's history, so it is armed exactly
+        once — by the first run; an action cut off by that run's deadline
+        never fires (developer actions are not replayed by later runs).
+        """
+        self.run_epoch += 1
+        if self.scenario._client_groups:
+            pending = [
+                entry
+                for entry in self.registry.services
+                if entry.name not in self._published_services
+            ]
+            if pending:
+                self._force_and_settle(pending)
+        plans = self._build_plans()
+        if not plans and until is None and self.scenario._timeline:
+            raise ClusterError(
+                "a scenario with timeline actions but no clients needs run(until=...)"
+            )
+        scripted = (
+            [(time, self._bind_action(action)) for time, action in self.scenario._timeline]
+            if self.run_epoch == 1
+            else []
+        )
+        driver = FleetDriver(
+            self.world.scheduler,
+            self.registry,
+            plans,
+            scripted_events=scripted,
+            protocol_factories=self._protocol_factories,
+            description=f"scenario {self.scenario.name}",
+            until=until,
+        )
+        return driver.run()
+
+    # -- plan building ------------------------------------------------------
+
+    def _service_for_protocol(self, protocol: str) -> ServiceEntry:
+        for entry in self.registry.services:
+            if entry.technology == protocol:
+                return entry
+        raise ClusterError(f"no declared service uses technology {protocol!r}")
+
+    def _default_operation(self, service: str) -> str:
+        spec = self._service_specs[service]
+        if not spec.operations:
+            raise ClusterError(
+                f"service {service!r} declares no operations; name one in clients()"
+            )
+        return spec.operations[0].name
+
+    def _build_plans(self) -> list[ClientPlan]:
+        plans: list[ClientPlan] = []
+        total = sum(group.count for group in self.scenario._client_groups)
+        # A prefix distinct from add_client's auto-names ("client-{n}"), so
+        # an ad-hoc machine can never alias a fleet client's host.
+        hosts = self.world.client_fleet(total, prefix="fleet-client-")
+        index = 0
+        for group in self.scenario._client_groups:
+            if group.service is not None:
+                entry = self.registry.lookup(group.service)
+                targets = [(entry.technology, entry.name)] * group.count
+            else:
+                mix = group.protocol_mix or ((self._default_technology(), 1.0),)
+                protocols = _weighted_interleave(mix, group.count)
+                targets = [
+                    (protocol, self._service_for_protocol(protocol).name)
+                    for protocol in protocols
+                ]
+            for position, (protocol, service) in enumerate(targets):
+                operation = group.operation or self._default_operation(service)
+                offset = (
+                    group.arrival(position)
+                    if callable(group.arrival)
+                    else position * group.arrival
+                )
+                plans.append(
+                    ClientPlan(
+                        index=index,
+                        host=hosts[index],
+                        protocol=protocol,
+                        service=service,
+                        calls=group.calls,
+                        operation=operation,
+                        arguments=group.arguments,
+                        think_time=group.think_time,
+                        start_offset=offset,
+                        stale_every=group.stale_every,
+                        stale_operation=group.stale_operation,
+                    )
+                )
+                index += 1
+        return plans
+
+    def _bind_action(self, action: Callable[..., None]) -> Callable[[], None]:
+        try:
+            parameter_count = len(inspect.signature(action).parameters)
+        except (TypeError, ValueError):
+            parameter_count = 1
+        if parameter_count == 0:
+            return action
+        return lambda: action(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"ScenarioRuntime({self.scenario.name!r}, "
+            f"nodes={[n.name for n in self.nodes]}, "
+            f"services={[s.name for s in self.registry.services]})"
+        )

@@ -242,3 +242,14 @@ class TechnologyError(MiddlewareError):
 
 class StubError(MiddlewareError):
     """Raised by CDE when a client stub cannot be built or refreshed."""
+
+
+# -- cluster / scenario layer ------------------------------------------------------
+
+
+class ClusterError(ReproError):
+    """Raised by the declarative Scenario API (:mod:`repro.cluster`)."""
+
+
+class ServiceNotFoundError(ClusterError):
+    """Raised when a scenario references a service the registry does not know."""

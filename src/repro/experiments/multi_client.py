@@ -5,10 +5,9 @@ asks the scaling question the reproduction's north-star cares about: what
 happens to per-call round-trip time and to the §5.7 stall queue as the
 number of concurrent clients grows 1 → 512, for both middlewares?
 
-Each configuration builds a fresh testbed (one SDE server host, N client
-hosts on the same latency profile), publishes an echo service, and drives
-every client through the deterministic callback-driven workload driver in
-:mod:`repro.workload`.  Two scenarios:
+Each configuration is one declarative :class:`repro.cluster.Scenario` —
+one SDE server machine, an echo service, N clients — driven by the
+deterministic callback-driven cluster fleet driver.  Two scenarios:
 
 * ``steady`` — every call hits a live method; measures pure transport/dispatch
   scaling (connection reuse, FIFO reply ordering, endpoint dispatch).
@@ -26,11 +25,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.cluster import ClusterReport, Scenario, edit, op
 from repro.core.sde import SDEConfig
 from repro.net.latency import CostModel
-from repro.rmitypes import STRING, VOID
-from repro.testbed import LiveDevelopmentTestbed, OperationSpec
-from repro.workload import WorkloadReport, WorkloadSpec, run_workload
+from repro.rmitypes import STRING
 
 #: Client counts swept by the scaling benchmark (1 → 512).
 DEFAULT_CLIENT_COUNTS: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
@@ -56,7 +54,7 @@ class MultiClientResult:
     stalled_calls: int
     max_stall_queue_depth: int
     server_connections: int
-    report: WorkloadReport
+    report: ClusterReport
     #: Bounded server-CPU configuration (None = unlimited parallel cores).
     server_cores: int | None = None
     #: Seconds requests spent queued for a server core across the run.
@@ -72,29 +70,56 @@ def _echo_body(_instance, message: str) -> str:
     return message
 
 
-def _build_testbed(
+def build_scenario(
     technology: str,
-    cost_model: CostModel | None,
-    publication_timeout: float,
+    clients: int,
+    calls_per_client: int = 10,
+    scenario: str = SCENARIO_STEADY,
+    cost_model: CostModel | None = None,
     server_cores: int | None = None,
-) -> tuple[LiveDevelopmentTestbed, object]:
-    testbed = LiveDevelopmentTestbed(
-        cost_model=cost_model,
-        sde_config=SDEConfig(
-            cost_model=cost_model,
-            publication_timeout=publication_timeout,
-            server_cores=server_cores,
-        ),
+) -> Scenario:
+    """The declarative world description for one scale-out configuration."""
+    if scenario not in (SCENARIO_STEADY, SCENARIO_STALE_STORM):
+        raise ValueError(f"unknown scenario {scenario!r}")
+    stale = scenario == SCENARIO_STALE_STORM
+    world = (
+        Scenario(
+            name=f"multi-client-{technology}-{scenario}",
+            sde_config=SDEConfig(
+                cost_model=cost_model,
+                publication_timeout=5.0 if stale else 2.0,
+                server_cores=server_cores,
+            ),
+        )
+        .servers(1)
+        .service(
+            "EchoService",
+            [op("echo", (("message", STRING),), STRING, body=_echo_body)],
+            technology=technology,
+        )
     )
-    create = (
-        testbed.create_soap_server if technology == "soap" else testbed.create_corba_server
-    )
-    dynamic_class, _instance = create(
-        "EchoService",
-        [OperationSpec("echo", (("message", STRING),), STRING, body=_echo_body)],
-    )
-    testbed.publish_now("EchoService")
-    return testbed, dynamic_class
+    if stale:
+        world.clients(
+            clients,
+            service="EchoService",
+            calls=calls_per_client,
+            operation="echo",
+            arguments=(ECHO_PAYLOAD,),
+            stale_every=3,
+            think_time=0.05,
+        )
+        # The edit lands as the fleet starts: the publication timer is
+        # running when the stale calls arrive, so they stall (§5.7).
+        world.at(0.0, edit("EchoService", op("added_later")))
+    else:
+        world.clients(
+            clients,
+            service="EchoService",
+            calls=calls_per_client,
+            operation="echo",
+            arguments=(ECHO_PAYLOAD,),
+        )
+    return world
 
 
 def run_multi_client(
@@ -111,38 +136,11 @@ def run_multi_client(
     changes behaviour when a ``cost_model`` charges per-request processing
     (with no cost model requests consume zero CPU and nothing contends).
     """
-    if scenario not in (SCENARIO_STEADY, SCENARIO_STALE_STORM):
-        raise ValueError(f"unknown scenario {scenario!r}")
-    publication_timeout = 5.0 if scenario == SCENARIO_STALE_STORM else 2.0
-    testbed, dynamic_class = _build_testbed(
-        technology, cost_model, publication_timeout, server_cores
+    world = build_scenario(
+        technology, clients, calls_per_client, scenario, cost_model, server_cores
     )
-
-    if scenario == SCENARIO_STALE_STORM:
-        spec = WorkloadSpec(
-            technology=technology,
-            clients=clients,
-            calls_per_client=calls_per_client,
-            operation="echo",
-            arguments=(ECHO_PAYLOAD,),
-            stale_every=3,
-            think_time=0.05,
-            # The edit lands as the fleet starts: the publication timer is
-            # running when the stale calls arrive, so they stall (§5.7).
-            scripted_events=(
-                (0.0, lambda: dynamic_class.add_method("added_later", (), VOID, distributed=True)),
-            ),
-        )
-    else:
-        spec = WorkloadSpec(
-            technology=technology,
-            clients=clients,
-            calls_per_client=calls_per_client,
-            operation="echo",
-            arguments=(ECHO_PAYLOAD,),
-        )
-
-    report = run_workload(testbed, "EchoService", spec)
+    report = world.run()
+    node = report.nodes[0]
     return MultiClientResult(
         technology=technology,
         scenario=scenario,
@@ -155,8 +153,8 @@ def run_multi_client(
         max_stall_queue_depth=report.max_stall_queue_depth,
         server_connections=report.server_connections,
         report=report,
-        server_cores=report.server_cores,
-        server_waited_seconds=report.server_waited_seconds,
+        server_cores=node.cores,
+        server_waited_seconds=node.waited_seconds,
     )
 
 

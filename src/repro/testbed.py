@@ -1,4 +1,4 @@
-"""A convenience test/benchmark/example harness.
+"""A convenience test/benchmark/example harness (legacy two-host shim).
 
 Almost every experiment, example and integration test needs the same setup:
 a scheduler, a two-host network (the paper's client PowerBook and server
@@ -6,44 +6,40 @@ desktop), a JPie environment with an SDE Manager on the server host, and a
 CDE on the client host.  :class:`LiveDevelopmentTestbed` builds exactly that
 and provides helpers for the most common developer actions (creating a
 server class, adding distributed methods, connecting a client binding).
+
+.. deprecated:: 1.1
+    The testbed is now a thin adapter over the generalised cluster layer
+    (:class:`repro.cluster.ClusterWorld`); it keeps its full signature for
+    existing call sites, but new experiments should describe their world
+    with the declarative :class:`repro.cluster.Scenario` API instead.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Iterable
+from typing import Iterable
 
+from repro.cluster.scenario import OperationSpec
+from repro.cluster.topology import ClusterWorld
 from repro.core.cde import ClientDevelopmentEnvironment, DynamicClientBinding
-from repro.core.sde import SDEConfig, SDEManager, SDEManagerInterface
-from repro.errors import HostNotFoundError
-from repro.interface import Parameter
-from repro.jpie import DynamicClass, DynamicInstance, JPieEnvironment
-from repro.net import Host, LatencyModel, Network, t1_lan_profile
+from repro.core.sde import SDEConfig
+from repro.jpie import DynamicClass, DynamicInstance
+from repro.net import Host, LatencyModel
 from repro.net.latency import CostModel
-from repro.rmitypes import RmiType, VOID
-from repro.sim import Scheduler
+
+__all__ = ["LiveDevelopmentTestbed", "OperationSpec", "CLIENT_SPEED_FACTOR"]
 
 #: Relative speed of the paper's client machine (1 GHz PowerBook G4) compared
 #: with its server machine (3.2 GHz Pentium 4).
 CLIENT_SPEED_FACTOR = 2.5
 
 
-@dataclass
-class OperationSpec:
-    """A compact way to describe a distributed method for the testbed."""
-
-    name: str
-    parameters: tuple[tuple[str, RmiType], ...]
-    return_type: RmiType = VOID
-    body: Callable[..., Any] | None = None
-
-    def parameter_objects(self) -> tuple[Parameter, ...]:
-        """Convert the ``(name, type)`` pairs into Parameter objects."""
-        return tuple(Parameter(name, rmi_type) for name, rmi_type in self.parameters)
-
-
 class LiveDevelopmentTestbed:
-    """A complete two-machine live-development world."""
+    """A complete two-machine live-development world.
+
+    A one-server :class:`~repro.cluster.ClusterWorld` under the hood: the
+    paper's server desktop is the world's single server node, the client
+    PowerBook its first client machine.
+    """
 
     def __init__(
         self,
@@ -53,20 +49,22 @@ class LiveDevelopmentTestbed:
         client_speed_factor: float = CLIENT_SPEED_FACTOR,
         server_cores: int | None = None,
     ) -> None:
-        self.scheduler = Scheduler()
-        self.network = Network(self.scheduler, latency or t1_lan_profile())
-        self.server_host = self.network.add_host("server")
-        self.client_host = self.network.add_host("client")
-
         config = sde_config if sde_config is not None else SDEConfig()
         if cost_model is not None and config.cost_model is None:
             config.cost_model = cost_model
         if server_cores is not None and config.server_cores is None:
             config.server_cores = server_cores
 
-        self.environment = JPieEnvironment("server-jpie")
-        self.sde = SDEManager(self.environment, self.scheduler, self.server_host, config)
-        self.manager_interface = SDEManagerInterface(self.sde)
+        self.world = ClusterWorld(latency=latency)
+        self.server_node = self.world.add_server("server", config)
+        self.client_host = self.world.add_client("client")
+
+        self.scheduler = self.world.scheduler
+        self.network = self.world.network
+        self.server_host = self.server_node.host
+        self.environment = self.server_node.environment
+        self.sde = self.server_node.sde
+        self.manager_interface = self.server_node.manager_interface
         self.cde = ClientDevelopmentEnvironment(
             self.client_host,
             cost_model=cost_model,
@@ -126,9 +124,7 @@ class LiveDevelopmentTestbed:
         Used by the multi-client workload driver: the seed testbed models the
         paper's single PowerBook, scale-out experiments attach a fleet.
         """
-        if name is None:
-            name = f"client-{len(self.network.hosts)}"
-        return self.network.add_host(name)
+        return self.world.add_client(name)
 
     def create_client_fleet(self, count: int, prefix: str = "wl-client-") -> tuple["Host", ...]:
         """Attach ``count`` client machines named ``{prefix}1..{prefix}count``.
@@ -136,14 +132,7 @@ class LiveDevelopmentTestbed:
         Machines already attached under those names are reused, so repeated
         workload runs on one testbed share the fleet.
         """
-        hosts = []
-        for index in range(count):
-            name = f"{prefix}{index + 1}"
-            try:
-                hosts.append(self.network.host(name))
-            except HostNotFoundError:
-                hosts.append(self.network.add_host(name))
-        return tuple(hosts)
+        return self.world.client_fleet(count, prefix)
 
     # -- client actions --------------------------------------------------------------
 

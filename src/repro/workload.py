@@ -1,4 +1,4 @@
-"""Deterministic multi-client workload driver.
+"""Deterministic multi-client workload driver (legacy single-service shim).
 
 The paper's evaluation runs one client laptop against one SDE server; the
 north-star of this reproduction is production-scale traffic.  This module
@@ -15,6 +15,13 @@ A workload can also script mid-run developer actions (edit the server class,
 force a publication) and direct a fraction of calls at a non-existent
 operation, which exercises the §5.7 stall queue under load — the report
 captures how deep the queue got and how the stalled calls drained.
+
+.. deprecated:: 1.1
+    The workload driver is now a thin adapter over the generic cluster
+    fleet driver (:class:`repro.cluster.FleetDriver`): one service, one
+    replica, one protocol.  It keeps its full signature for existing call
+    sites; new experiments should describe their fleet with the declarative
+    :class:`repro.cluster.Scenario` API instead.
 """
 
 from __future__ import annotations
@@ -22,21 +29,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterable
 
-from repro.core.sde.corba_handler import EXC_NON_EXISTENT_METHOD, EXC_SERVER_NOT_INITIALIZED
-from repro.corba.orb import ClientOrb, RemoteObjectReference
-from repro.errors import CorbaUserException, MiddlewareError
-from repro.net.http import HttpClient
+from repro.cluster.driver import ClientPlan, FleetDriver
+from repro.cluster.registry import RoundRobinPolicy, ServiceEntry, ServiceRegistry
+from repro.cluster.report import ClientReport, ClusterReport
 from repro.net.simnet import Host
-from repro.net.transport import Deferred
-from repro.soap.envelope import SoapRequest, SoapResponse
-from repro.soap.wsdl import parse_wsdl
-from repro.corba.idl import parse_idl
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.testbed import LiveDevelopmentTestbed
 
 TECHNOLOGY_SOAP = "soap"
 TECHNOLOGY_CORBA = "corba"
+
+#: Legacy name: per-client results are the cluster layer's client reports.
+ClientResult = ClientReport
 
 
 @dataclass(frozen=True)
@@ -67,33 +72,6 @@ class WorkloadSpec:
 
 
 @dataclass
-class ClientResult:
-    """What one workload client observed."""
-
-    name: str
-    rtts: list[float] = field(default_factory=list)
-    successes: int = 0
-    stale_faults: int = 0
-    not_initialized_faults: int = 0
-    other_faults: int = 0
-
-    @property
-    def calls(self) -> int:
-        """Calls this client completed (successes plus faults)."""
-        return len(self.rtts)
-
-    @property
-    def mean_rtt(self) -> float:
-        """Mean round-trip time over this client's calls."""
-        return sum(self.rtts) / len(self.rtts) if self.rtts else 0.0
-
-    @property
-    def max_rtt(self) -> float:
-        """Worst round-trip time this client saw."""
-        return max(self.rtts) if self.rtts else 0.0
-
-
-@dataclass
 class WorkloadReport:
     """Aggregate outcome of one multi-client run."""
 
@@ -119,6 +97,8 @@ class WorkloadReport:
     server_busy_seconds: float = 0.0
     server_waited_seconds: float = 0.0
     server_max_core_wait: float = 0.0
+    #: Scheduler events dispatched inside the measured window.
+    events_dispatched: int = 0
 
     @property
     def duration(self) -> float:
@@ -163,126 +143,12 @@ class WorkloadReport:
         return self.total_calls / self.duration if self.duration > 0 else 0.0
 
 
-class _WorkloadClient:
-    """One callback-driven client of the fleet."""
-
-    def __init__(self, driver: "MultiClientWorkload", index: int, host: Host) -> None:
-        self.driver = driver
-        self.index = index
-        self.host = host
-        self.result = ClientResult(name=host.name)
-        self.http = HttpClient(host, name=f"wl-http-{index}")
-        self.orb: ClientOrb | None = None
-        self.remote: RemoteObjectReference | None = None
-        self.description = None
-        self.registry = None
-        self._calls_issued = 0
-
-    # -- setup (blocking; runs before the measured window) -------------------
-
-    def prepare(self) -> None:
-        """Fetch and parse the published interface documents."""
-        publisher = self.driver.publisher
-        document = self._fetch(publisher.document_url)
-        if self.driver.spec.technology == TECHNOLOGY_SOAP:
-            self.description = parse_wsdl(document)
-            self.registry = self.description.type_registry()
-        else:
-            self.description = parse_idl(document)
-            self.orb = ClientOrb(self.host)
-            ior_text = self._fetch(publisher.ior_url)
-            self.remote = self.orb.string_to_object(ior_text.strip())
-
-    def _fetch(self, url: str) -> str:
-        response = self.http.get(url)
-        if not response.ok:
-            raise MiddlewareError(f"could not retrieve {url}: HTTP {response.status}")
-        return response.body
-
-    # -- the call loop --------------------------------------------------------
-
-    def start(self) -> None:
-        """Issue this client's first call."""
-        self._next_call()
-
-    def _next_call(self) -> None:
-        spec = self.driver.spec
-        if self._calls_issued >= spec.calls_per_client:
-            self.driver._client_finished()
-            return
-        self._calls_issued += 1
-        call_number = self._calls_issued
-        operation, arguments = spec.operation, spec.arguments
-        if spec.stale_every and call_number % spec.stale_every == 0:
-            operation, arguments = spec.stale_operation, ()
-        started = self.driver.scheduler.now
-        deferred = self._send(operation, arguments)
-        deferred.subscribe(lambda value, error, _delay: self._on_reply(started, value, error))
-
-    def _send(self, operation: str, arguments: tuple[Any, ...]) -> Deferred:
-        if self.driver.spec.technology == TECHNOLOGY_CORBA:
-            return self.remote.invoke_async(operation, *arguments)
-        request = SoapRequest.for_call(
-            operation, arguments, namespace=self.description.namespace, registry=self.registry
-        )
-        wire = self.http.request_async(
-            "POST",
-            self.description.endpoint_url,
-            body=request.to_xml(),
-            headers={"Content-Type": "text/xml; charset=utf-8"},
-        )
-        return wire.transform(self._decode_soap)
-
-    def _decode_soap(self, response, error):
-        if error is not None:
-            raise error
-        if not response.ok:
-            raise MiddlewareError(f"SOAP endpoint returned HTTP {response.status}")
-        return SoapResponse.from_xml(response.body, self.registry)
-
-    def _on_reply(self, started: float, value: Any, error: BaseException | None) -> None:
-        self.result.rtts.append(self.driver.scheduler.now - started)
-        self._classify(value, error)
-        think = self.driver.spec.think_time
-        if think > 0:
-            scheduler = self.driver.scheduler
-            scheduler.schedule(
-                think,
-                self._next_call,
-                label=(
-                    f"{self.result.name} think time" if scheduler.tracing else "think time"
-                ),
-            )
-        else:
-            self._next_call()
-
-    def _classify(self, value: Any, error: BaseException | None) -> None:
-        result = self.result
-        if self.driver.spec.technology == TECHNOLOGY_CORBA:
-            if error is None:
-                result.successes += 1
-            elif isinstance(error, CorbaUserException) and error.type_name == EXC_NON_EXISTENT_METHOD:
-                result.stale_faults += 1
-            elif isinstance(error, CorbaUserException) and error.type_name == EXC_SERVER_NOT_INITIALIZED:
-                result.not_initialized_faults += 1
-            else:
-                result.other_faults += 1
-            return
-        if error is not None:
-            result.other_faults += 1
-            return
-        if not value.is_fault:
-            result.successes += 1
-        elif value.fault.is_non_existent_method:
-            result.stale_faults += 1
-        elif value.fault.is_server_not_initialized:
-            result.not_initialized_faults += 1
-        else:
-            result.other_faults += 1
-
-
 class MultiClientWorkload:
-    """Run N concurrent clients against one managed SDE server class."""
+    """Run N concurrent clients against one managed SDE server class.
+
+    A thin adapter: it registers the managed class as a one-replica service
+    and hands the fleet to the generic cluster driver.
+    """
 
     def __init__(
         self,
@@ -304,8 +170,34 @@ class MultiClientWorkload:
         )
         if len(hosts) != spec.clients:
             raise ValueError(f"expected {spec.clients} client hosts, got {len(hosts)}")
-        self.clients = [_WorkloadClient(self, i, host) for i, host in enumerate(hosts)]
-        self._finished_clients = 0
+
+        self.registry = ServiceRegistry()
+        entry = ServiceEntry(class_name, spec.technology, RoundRobinPolicy())
+        entry.add_replica(testbed.server_node, self.server)
+        self.registry.register(entry)
+        plans = [
+            ClientPlan(
+                index=index,
+                host=host,
+                protocol=spec.technology,
+                service=class_name,
+                calls=spec.calls_per_client,
+                operation=spec.operation,
+                arguments=spec.arguments,
+                think_time=spec.think_time,
+                start_offset=index * spec.stagger,
+                stale_every=spec.stale_every,
+                stale_operation=spec.stale_operation,
+            )
+            for index, host in enumerate(hosts)
+        ]
+        self.driver = FleetDriver(
+            testbed.scheduler,
+            self.registry,
+            plans,
+            scripted_events=spec.scripted_events,
+            description=f"workload against {class_name}",
+        )
 
     @property
     def scheduler(self):
@@ -322,80 +214,39 @@ class MultiClientWorkload:
         """The driven server's call handler."""
         return self.server.call_handler
 
+    @property
+    def clients(self):
+        """The fleet's clients, in start order."""
+        return self.driver.clients
+
     def run(self) -> WorkloadReport:
         """Prepare the fleet, run it to completion, and report."""
-        for client in self.clients:
-            client.prepare()
-
-        stats_before = _snapshot(self.handler.stats)
-        endpoint = self._server_endpoint()
-        replies_before = endpoint.stats.replies_sent
-        connections_before = len(endpoint.connections)
-        core = self.testbed.sde.server_core
-        core_before = (
-            (core.busy_seconds, core.waited_seconds) if core is not None else (0.0, 0.0)
-        )
-        # max is not delta-able like the counters: measure this run's high
-        # water with a clean gauge, then restore the lifetime maximum.
-        self.handler.stats.max_stall_queue_depth = 0
-        started_at = self.scheduler.now
-        for offset, action in self.spec.scripted_events:
-            self.scheduler.schedule(offset, action, label="workload scripted event")
-        for index, client in enumerate(self.clients):
-            self.scheduler.schedule(
-                index * self.spec.stagger, client.start, label=f"{client.result.name} start"
-            )
-        self.scheduler.run_until(
-            lambda: self._finished_clients == len(self.clients),
-            description=f"workload against {self.class_name}",
-        )
-        finished_at = self.scheduler.now
-
-        handler_stats = self.handler.stats
-        run_max_depth = handler_stats.max_stall_queue_depth
-        handler_stats.max_stall_queue_depth = max(
-            run_max_depth, stats_before["max_stall_queue_depth"]
-        )
-        return WorkloadReport(
-            technology=self.spec.technology,
-            client_count=self.spec.clients,
-            calls_per_client=self.spec.calls_per_client,
-            started_at=started_at,
-            finished_at=finished_at,
-            clients=[client.result for client in self.clients],
-            stalled_calls=handler_stats.stalled_calls - stats_before["stalled_calls"],
-            queued_while_stalled=(
-                handler_stats.queued_while_stalled - stats_before["queued_while_stalled"]
-            ),
-            max_stall_queue_depth=run_max_depth,
-            server_connections=len(endpoint.connections) - connections_before,
-            server_replies_sent=endpoint.stats.replies_sent - replies_before,
-            server_cores=core.cores if core is not None else None,
-            server_busy_seconds=(
-                core.busy_seconds - core_before[0] if core is not None else 0.0
-            ),
-            server_waited_seconds=(
-                core.waited_seconds - core_before[1] if core is not None else 0.0
-            ),
-            server_max_core_wait=core.max_queue_delay if core is not None else 0.0,
-        )
-
-    def _server_endpoint(self):
-        handler = self.handler
-        if self.spec.technology == TECHNOLOGY_SOAP:
-            return handler.http_server.endpoint
-        return handler.orb.endpoint
-
-    def _client_finished(self) -> None:
-        self._finished_clients += 1
+        report = self.driver.run()
+        return _project(report, self.spec)
 
 
-def _snapshot(stats) -> dict[str, int]:
-    return {
-        "stalled_calls": stats.stalled_calls,
-        "queued_while_stalled": stats.queued_while_stalled,
-        "max_stall_queue_depth": stats.max_stall_queue_depth,
-    }
+def _project(report: ClusterReport, spec: WorkloadSpec) -> WorkloadReport:
+    """Project a one-service cluster report onto the legacy workload shape."""
+    replica = report.services[0].replicas[0]
+    node = report.nodes[0]
+    return WorkloadReport(
+        technology=spec.technology,
+        client_count=spec.clients,
+        calls_per_client=spec.calls_per_client,
+        started_at=report.started_at,
+        finished_at=report.finished_at,
+        clients=list(report.clients),
+        stalled_calls=replica.stalled_calls,
+        queued_while_stalled=replica.queued_while_stalled,
+        max_stall_queue_depth=replica.max_stall_queue_depth,
+        server_connections=replica.connections,
+        server_replies_sent=replica.replies_sent,
+        server_cores=node.cores,
+        server_busy_seconds=node.busy_seconds,
+        server_waited_seconds=node.waited_seconds,
+        server_max_core_wait=node.max_core_wait,
+        events_dispatched=report.events_dispatched,
+    )
 
 
 def run_workload(

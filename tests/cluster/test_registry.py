@@ -1,0 +1,99 @@
+"""Unit tests for the service registry and replica-selection policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.registry import (
+    LeastLoadedPolicy,
+    Replica,
+    RoundRobinPolicy,
+    ServiceEntry,
+    ServiceRegistry,
+    StickyPolicy,
+    make_policy,
+)
+from repro.errors import ClusterError, ServiceNotFoundError
+
+
+def _replicas(count: int) -> list[Replica]:
+    return [
+        Replica(service="svc", index=index, node=None, managed=None)
+        for index in range(count)
+    ]
+
+
+class TestPolicies:
+    def test_round_robin_cycles_deterministically(self):
+        policy = RoundRobinPolicy()
+        replicas = _replicas(3)
+        picks = [policy.select(replicas, "anyone").index for _ in range(7)]
+        assert picks == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_sticky_pins_each_client_and_spreads_first_contacts(self):
+        policy = StickyPolicy()
+        replicas = _replicas(2)
+        first = [policy.select(replicas, name).index for name in ("a", "b", "c")]
+        assert first == [0, 1, 0]  # first contacts spread round-robin
+        # Every later call of a pinned client lands on the same replica.
+        assert [policy.select(replicas, "a").index for _ in range(5)] == [0] * 5
+        assert [policy.select(replicas, "b").index for _ in range(5)] == [1] * 5
+
+    def test_least_loaded_prefers_idle_replicas_then_lowest_index(self):
+        policy = LeastLoadedPolicy()
+        replicas = _replicas(3)
+        assert policy.select(replicas, "x").index == 0  # tie -> lowest index
+        replicas[0].in_flight = 2
+        replicas[1].in_flight = 1
+        assert policy.select(replicas, "x").index == 2
+        replicas[2].in_flight = 1
+        assert policy.select(replicas, "x").index == 1
+
+    def test_make_policy_resolves_names_and_passes_instances(self):
+        assert isinstance(make_policy("round-robin"), RoundRobinPolicy)
+        assert isinstance(make_policy("sticky"), StickyPolicy)
+        assert isinstance(make_policy("least-loaded"), LeastLoadedPolicy)
+        sticky = StickyPolicy()
+        assert make_policy(sticky) is sticky
+        with pytest.raises(ClusterError):
+            make_policy("random")
+
+
+class TestServiceRegistry:
+    def _registry(self) -> tuple[ServiceRegistry, ServiceEntry]:
+        registry = ServiceRegistry()
+        entry = ServiceEntry("mail", "soap")
+        entry.replicas.extend(_replicas(2))
+        registry.register(entry)
+        return registry, entry
+
+    def test_exact_lookup_and_unknown_service(self):
+        registry, entry = self._registry()
+        assert registry.lookup("mail") is entry
+        with pytest.raises(ServiceNotFoundError):
+            registry.lookup("calendar")
+
+    def test_duplicate_registration_rejected(self):
+        registry, _ = self._registry()
+        with pytest.raises(ClusterError):
+            registry.register(ServiceEntry("mail", "corba"))
+
+    def test_prefix_alias_routes_to_service(self):
+        registry, entry = self._registry()
+        registry.add_alias("mail-", "mail")
+        assert registry.lookup("mail-eu-west") is entry
+
+    def test_select_accounts_routed_calls_and_in_flight(self):
+        registry, entry = self._registry()
+        replica = registry.select("mail", "client-1")
+        assert replica.calls_routed == 1
+        registry.begin_call(replica)
+        assert replica.in_flight == 1
+        registry.end_call(replica)
+        assert replica.in_flight == 0
+
+    def test_empty_service_rejected_on_select(self):
+        registry = ServiceRegistry()
+        registry.register(ServiceEntry("empty", "soap"))
+        with pytest.raises(ClusterError):
+            registry.select("empty", "client-1")

@@ -241,3 +241,34 @@ class TestWorkloadValidation:
                 WorkloadSpec(technology="soap", clients=3),
                 client_hosts=hosts,
             )
+
+
+class TestCoreWaitAccounting:
+    def test_server_max_core_wait_is_per_run(self):
+        """The longest single core wait is a per-run figure (as documented):
+        a light run after a heavy one must not inherit its high water,
+        while the core keeps the lifetime maximum for observers."""
+        from repro.net.latency import era_2004_cost_model
+
+        testbed = LiveDevelopmentTestbed(
+            cost_model=era_2004_cost_model(), server_cores=1
+        )
+        testbed.create_soap_server(
+            "EchoService",
+            [OperationSpec("echo", (("m", STRING),), STRING, body=lambda _s, m: m)],
+        )
+        testbed.publish_now("EchoService")
+        heavy = run_workload(
+            testbed,
+            "EchoService",
+            WorkloadSpec(technology="soap", clients=16, calls_per_client=3),
+        )
+        light = run_workload(
+            testbed,
+            "EchoService",
+            WorkloadSpec(technology="soap", clients=1, calls_per_client=1),
+        )
+        assert heavy.server_max_core_wait > 0
+        assert light.server_max_core_wait < heavy.server_max_core_wait
+        # The core itself keeps the lifetime high-water mark.
+        assert testbed.sde.server_core.max_queue_delay == heavy.server_max_core_wait
