@@ -79,6 +79,10 @@ def test_mixed_cluster_scenario_4x256(benchmark):
     benchmark.extra_info["simulated_duration_s"] = round(first.duration, 5)
     benchmark.extra_info["events_dispatched"] = first.events_dispatched
     benchmark.extra_info["mean_simulated_rtt_s"] = round(first.mean_rtt, 5)
+    percentiles = first.rtt_percentiles
+    benchmark.extra_info["rtt_p50_s"] = round(percentiles["p50"], 6)
+    benchmark.extra_info["rtt_p95_s"] = round(percentiles["p95"], 6)
+    benchmark.extra_info["rtt_p99_s"] = round(percentiles["p99"], 6)
     for service in first.services:
         rtts = first.rtts_for(service.name)
         benchmark.extra_info[f"mean_simulated_rtt_{service.technology}_s"] = round(

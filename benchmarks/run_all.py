@@ -26,6 +26,11 @@ slowdown cannot pass silently.
 ``--quick`` exports ``REPRO_BENCH_QUICK=1``; parameter-heavy benchmarks read
 it at collection time and shrink their grids (fewer fleet sizes, fewer
 events), which keeps the CI run to a fraction of the full sweep.
+
+``REPRO_BENCH_WARNINGS`` (space-separated ``-W``-style filter specs) is
+forwarded to the pytest subprocess; CI uses it to turn DeprecationWarnings
+into errors while allowing only the repro-internal deprecation shims
+(``repro.testbed`` / ``repro.workload``) to keep warning.
 """
 
 from __future__ import annotations
@@ -86,6 +91,8 @@ def run_benchmarks(files: list[Path], quick: bool = False) -> tuple[int, list[di
         "-q",
         f"--benchmark-json={json_path}",
     ]
+    for spec in env.get("REPRO_BENCH_WARNINGS", "").split():
+        command += ["-W", spec]
     completed = subprocess.run(command, cwd=REPO_ROOT, env=env)
     try:
         payload = json.loads(json_path.read_text())
@@ -244,7 +251,20 @@ def main(argv: list[str]) -> int:
         f"({len(load_trajectory()['runs'])} run(s) in trajectory)"
     )
     for bench in run_record["benchmarks"]:
-        print(f"  {bench['name']}: {bench['wall_clock_mean_s']:.4f}s wall-clock")
+        line = f"  {bench['name']}: {bench['wall_clock_mean_s']:.4f}s wall-clock"
+        extra = bench.get("extra_info") or {}
+        percentiles = [
+            f"{level}={extra[key]:.5f}s"
+            for level, key in (
+                ("p50", "rtt_p50_s"),
+                ("p95", "rtt_p95_s"),
+                ("p99", "rtt_p99_s"),
+            )
+            if isinstance(extra.get(key), (int, float))
+        ]
+        if percentiles:
+            line += f"  [simulated RTT {' '.join(percentiles)}]"
+        print(line)
     for regression in regressions:
         evidence = regression.get("deterministic_metrics")
         if evidence and regression.get("workload_shrank"):

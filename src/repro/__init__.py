@@ -19,6 +19,11 @@ and CORBA Servers* (Pallemulle, Goldman & Morgan, WUCSE-2004-75 / ICDCS
   world (replicated services, routing policies, client fleets with
   protocol mixes, a timeline of developer actions) and runs it
   deterministically;
+* the deterministic **fault-injection subsystem** (:mod:`repro.faults`) —
+  crashes, restarts, partitions and lossy links as timeline actions, with
+  failover-aware routing and a client :class:`~repro.faults.RetryPolicy`,
+  so resilience scenarios can prove the §6 recency guarantee under
+  failure;
 * experiment drivers reproducing every table and figure of the evaluation
   (:mod:`repro.experiments`), plus the legacy two-host testbed
   (:mod:`repro.testbed`), now a thin adapter over the cluster layer.
@@ -67,6 +72,15 @@ from repro.cluster import (
     publish,
 )
 from repro.errors import ReproError
+from repro.faults import (
+    RetryPolicy,
+    crash,
+    drop_link,
+    heal,
+    partition,
+    restart,
+    restore_link,
+)
 from repro.interface import InterfaceDescription, OperationSignature, Parameter
 from repro.rmitypes import (
     ArrayType,
@@ -82,7 +96,7 @@ from repro.rmitypes import (
 )
 from repro.testbed import LiveDevelopmentTestbed, OperationSpec
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ReproError",
@@ -108,6 +122,13 @@ __all__ = [
     "edit",
     "publish",
     "churn",
+    "crash",
+    "restart",
+    "partition",
+    "heal",
+    "drop_link",
+    "restore_link",
+    "RetryPolicy",
     "LiveDevelopmentTestbed",
     "OperationSpec",
     "__version__",

@@ -23,6 +23,12 @@ Layering (see ARCHITECTURE.md "Scenario API"):
 * :mod:`repro.cluster.scenario` — the :class:`Scenario` builder plus the
   ``op`` / ``edit`` / ``publish`` / ``churn`` helpers.
 
+The fault-injection subsystem (:mod:`repro.faults`) plugs in underneath:
+its timeline actions (``crash`` / ``restart`` / ``partition`` / ``heal`` /
+``drop_link`` / ``restore_link``) and the client-side
+:class:`~repro.faults.RetryPolicy` are re-exported here so resilience
+scenarios read as one vocabulary (see ARCHITECTURE.md "Fault model").
+
 The legacy two-host :class:`repro.testbed.LiveDevelopmentTestbed` and the
 single-service :mod:`repro.workload` driver are thin adapters over this
 package.
@@ -67,6 +73,17 @@ from repro.cluster.scenario import (
     publish,
 )
 from repro.cluster.topology import ClusterWorld, ServerNode
+from repro.faults import (
+    FaultInjector,
+    LinkFaultProfile,
+    RetryPolicy,
+    crash,
+    drop_link,
+    heal,
+    partition,
+    restart,
+    restore_link,
+)
 
 __all__ = [
     "Scenario",
@@ -76,6 +93,15 @@ __all__ = [
     "edit",
     "publish",
     "churn",
+    "crash",
+    "restart",
+    "partition",
+    "heal",
+    "drop_link",
+    "restore_link",
+    "FaultInjector",
+    "LinkFaultProfile",
+    "RetryPolicy",
     "ClusterReport",
     "ClientReport",
     "ServiceReport",

@@ -12,15 +12,25 @@ Per-replica server statistics (stall queue, endpoint connections/replies,
 publications) and per-node CPU statistics are snapshotted before the
 measured window and reported as deltas, so repeated runs against one world
 stay independent.
+
+Clients are failover-aware when their plan carries a
+:class:`~repro.faults.RetryPolicy`: transport-level failures and timeouts
+are retried through the registry's alive-replica routing, availability is
+accounted (failed/retried/abandoned, downtime, recovery latency via the
+wired :class:`~repro.faults.FaultInjector`), and every successful reply
+updates the client's §6 recency watermark — the report's
+``recency_violations`` counter stays 0 whenever the stall protocol's
+guarantee holds.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from repro.cluster.protocols import (
     OUTCOME_NOT_INITIALIZED,
+    OUTCOME_OTHER,
     OUTCOME_STALE,
     OUTCOME_SUCCESS,
     ProtocolClient,
@@ -35,8 +45,13 @@ from repro.cluster.report import (
     ReplicaReport,
     ServiceReport,
 )
+from repro.errors import NoAliveReplicaError, TransportError
+from repro.faults.policy import RetryPolicy
 from repro.net.simnet import Host
 from repro.sim.scheduler import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
 
 
 @dataclass(frozen=True)
@@ -58,14 +73,34 @@ class ClientPlan:
     #: ``stale_operation`` — §5.7 stall-protocol pressure.
     stale_every: int | None = None
     stale_operation: str = "no_such_operation"
+    #: Retry/failover policy: transport-level failures (connection aborted
+    #: by a crash, no alive replica, per-attempt timeout) are retried —
+    #: routed by the failover-aware registry — up to the attempt budget.
+    #: ``None`` keeps the seed behaviour: such failures count as faults.
+    retry: RetryPolicy | None = None
 
 
 class _FleetClient:
-    """One callback-driven client of the fleet."""
+    """One callback-driven client of the fleet.
+
+    With a :class:`RetryPolicy` on its plan the client is failover-aware:
+    an attempt that fails at the transport level — the connection was
+    aborted by a crash, no replica was alive, or the per-attempt timeout
+    expired — is reissued (the registry then routes around dead replicas)
+    until the attempt budget runs out and the call is abandoned.  A call's
+    reported RTT spans first attempt to final outcome, so failover cost is
+    visible in the latency percentiles.
+
+    The client also keeps the §6 recency high-water mark: every successful
+    reply observes the serving replica's published interface version, and a
+    version older than one already observed is counted as a recency
+    violation (the stall protocol guarantees zero, across failover).
+    """
 
     def __init__(self, driver: "FleetDriver", plan: ClientPlan) -> None:
         self.driver = driver
         self.plan = plan
+        self.retry = plan.retry
         entry = driver.registry.lookup(plan.service)
         factory = driver.protocol_factory(plan.protocol)
         self.stack: ProtocolClient = factory(plan.host, plan.index, entry.replicas)
@@ -73,6 +108,16 @@ class _FleetClient:
             name=plan.host.name, protocol=plan.protocol, service=plan.service
         )
         self._calls_issued = 0
+        #: Attempts made for the call currently in progress.
+        self._attempts = 0
+        #: Virtual time the current call's *first* attempt was issued.
+        self._call_started = 0.0
+        #: Token identifying the in-flight attempt; a reply or timeout for
+        #: a superseded attempt compares unequal and becomes a no-op.
+        self._pending: object | None = None
+        #: Highest published interface version observed via a successful
+        #: reply (the §6 recency watermark; -1 = nothing observed yet).
+        self._seen_version = -1
 
     def prepare(self) -> None:
         """Fetch and parse the published interface documents (blocking)."""
@@ -97,25 +142,139 @@ class _FleetClient:
         operation, arguments = plan.operation, plan.arguments
         if plan.stale_every and call_number % plan.stale_every == 0:
             operation, arguments = plan.stale_operation, ()
-        replica = self.driver.registry.select(plan.service, self.report.name)
+        self._attempts = 0
+        self._call_started = self.driver.scheduler.now
+        self._issue(operation, arguments)
+
+    # -- one attempt ---------------------------------------------------------
+
+    def _issue(self, operation: str, arguments: tuple[Any, ...]) -> None:
+        if self.driver.closed:
+            return
+        driver = self.driver
+        self._attempts += 1
+        try:
+            replica = driver.registry.select(self.plan.service, self.report.name)
+        except NoAliveReplicaError:
+            self._attempt_failed(operation, arguments)
+            return
         self.report.replica_sequence.append(replica.index)
         ServiceRegistry.begin_call(replica)
-        started = self.driver.scheduler.now
+        token = object()
+        self._pending = token
+        scheduler = driver.scheduler
+        timeout_event = None
+        retry = self.retry
+        if retry is not None and retry.timeout is not None:
+            timeout_event = scheduler.schedule(
+                retry.timeout,
+                self._on_timeout,
+                token,
+                replica,
+                operation,
+                arguments,
+                label=(
+                    f"{self.report.name} attempt timeout"
+                    if scheduler.tracing
+                    else "attempt timeout"
+                ),
+            )
         deferred = self.stack.call(replica, operation, arguments)
         deferred.subscribe(
-            lambda value, error, _delay: self._on_reply(replica, started, value, error)
+            lambda value, error, _delay: self._on_reply(
+                token, timeout_event, replica, operation, arguments, value, error
+            )
         )
 
-    def _on_reply(
-        self, replica: Replica, started: float, value: Any, error: BaseException | None
+    def _on_timeout(
+        self, token: object, replica: Replica, operation: str, arguments: tuple[Any, ...]
     ) -> None:
+        if token is not self._pending:
+            return  # the attempt already resolved; this timer lost the race
+        self._pending = None
+        ServiceRegistry.end_call(replica)
+        if self.driver.closed:
+            return
+        # The hung attempt still owns a FIFO expectation on its connection;
+        # reset it so a later reply cannot mis-correlate with the retry.
+        self.stack.reset_replica(replica)
+        self._attempt_failed(operation, arguments)
+
+    def _on_reply(
+        self,
+        token: object,
+        timeout_event,
+        replica: Replica,
+        operation: str,
+        arguments: tuple[Any, ...],
+        value: Any,
+        error: BaseException | None,
+    ) -> None:
+        if token is not self._pending:
+            # A late reply of a timed-out attempt: its accounting (in-flight
+            # slot, failed-attempt counters) was settled at timeout time.
+            return
+        self._pending = None
+        if timeout_event is not None:
+            timeout_event.cancel()
         ServiceRegistry.end_call(replica)
         if self.driver.closed:
             # A reply landing after the window: release the in-flight slot
             # (above) but leave the frozen report and the call loop alone.
             return
-        self.report.rtts.append(self.driver.scheduler.now - started)
-        self._classify(value, error)
+        outcome = self.stack.classify(value, error)
+        if (
+            self.retry is not None
+            and isinstance(error, TransportError)
+            and outcome == OUTCOME_OTHER
+        ):
+            # Strictly transport-level failure (connection aborted, dead
+            # server, ...) under a retry policy: fail over instead of
+            # recording a fault.  Deterministic application-level errors
+            # (protocol faults, malformed replies) are never retried —
+            # they would fail identically every time.
+            self._attempt_failed(operation, arguments)
+            return
+        self.report.rtts.append(self.driver.scheduler.now - self._call_started)
+        self._count(outcome)
+        if outcome == OUTCOME_SUCCESS:
+            self._observe_recency(replica)
+            self.driver._note_success(replica)
+        self._after_call()
+
+    # -- failure/retry path --------------------------------------------------
+
+    def _attempt_failed(self, operation: str, arguments: tuple[Any, ...]) -> None:
+        if self.driver.closed:
+            return
+        self.report.failed_attempts += 1
+        retry = self.retry
+        if retry is not None and self._attempts < retry.max_attempts:
+            self.report.retried_calls += 1
+            if retry.backoff > 0:
+                scheduler = self.driver.scheduler
+                scheduler.schedule(
+                    retry.backoff,
+                    self._issue,
+                    operation,
+                    arguments,
+                    label=(
+                        f"{self.report.name} retry backoff"
+                        if scheduler.tracing
+                        else "retry backoff"
+                    ),
+                )
+            else:
+                self._issue(operation, arguments)
+            return
+        # Budget exhausted (or no policy): the call is abandoned — it has no
+        # RTT and no outcome classification, only the abandoned counter.
+        self.report.abandoned_calls += 1
+        self._after_call()
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _after_call(self) -> None:
         think = self.plan.think_time
         if think > 0:
             scheduler = self.driver.scheduler
@@ -129,8 +288,14 @@ class _FleetClient:
         else:
             self._next_call()
 
-    def _classify(self, value: Any, error: BaseException | None) -> None:
-        outcome = self.stack.classify(value, error)
+    def _observe_recency(self, replica: Replica) -> None:
+        version = replica.publisher.version
+        if version < self._seen_version:
+            self.report.recency_violations += 1
+        else:
+            self._seen_version = version
+
+    def _count(self, outcome: str) -> None:
         report = self.report
         if outcome == OUTCOME_SUCCESS:
             report.successes += 1
@@ -277,6 +442,7 @@ class FleetDriver:
         protocol_factories: dict[str, ProtocolClientFactory] | None = None,
         description: str = "cluster fleet",
         until: float | None = None,  # run-relative horizon, like the offsets
+        faults: "FaultInjector | None" = None,
     ) -> None:
         self.scheduler = scheduler
         self.registry = registry
@@ -285,6 +451,10 @@ class FleetDriver:
         self._protocol_factories = protocol_factories or {}
         self.description = description
         self.until = until
+        #: The world's fault injector, when one is wired in: successful
+        #: replies stamp recovery times and the report gains availability
+        #: metrics (downtime, recovery latency) derived from its outage log.
+        self.faults = faults
         #: Set once the measured window ends; leftover client events (think
         #: timers, in-flight replies of a deadline-cut run) become no-ops so
         #: they cannot contaminate a later run on the same world.
@@ -372,6 +542,8 @@ class FleetDriver:
                 )
             )
         node_reports = [node_snapshot.report() for node_snapshot in node_snapshots]
+        if self.faults is not None and self.faults.has_outages:
+            self._apply_availability(node_reports, service_reports, started_at, finished_at)
         return ClusterReport(
             started_at=started_at,
             finished_at=finished_at,
@@ -393,6 +565,42 @@ class FleetDriver:
 
     def _client_finished(self) -> None:
         self._finished_clients += 1
+
+    def _note_success(self, replica: Replica) -> None:
+        """Stamp recovery bookkeeping for a successful reply (fault drills)."""
+        faults = self.faults
+        if faults is not None and faults.has_outages and replica.node is not None:
+            faults.note_recovery(replica.node.name, self.scheduler.now)
+
+    def _apply_availability(
+        self,
+        node_reports: list[NodeReport],
+        service_reports: list[ServiceReport],
+        started_at: float,
+        finished_at: float,
+    ) -> None:
+        """Fold the injector's outage log into the per-node/replica reports."""
+        faults = self.faults
+        downtime_by_node: dict[str, float] = {}
+        for node_report in node_reports:
+            name = node_report.name
+            downtime = faults.downtime(name, started_at, finished_at)
+            downtime_by_node[name] = downtime
+            node_report.downtime_s = downtime
+            node_report.outages = sum(
+                1
+                for outage in faults.outages_for(name)
+                if outage.downtime_within(started_at, finished_at) > 0.0
+                or started_at <= outage.crashed_at <= finished_at
+            )
+            node_report.recovery_latency_s = faults.recovery_latency(
+                name, started_at, finished_at
+            )
+        for service_report in service_reports:
+            for replica_report in service_report.replicas:
+                replica_report.downtime_s = downtime_by_node.get(
+                    replica_report.node, 0.0
+                )
 
 
 def _noop() -> None:

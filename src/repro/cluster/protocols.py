@@ -29,7 +29,7 @@ from repro.corba.idl import parse_idl
 from repro.corba.orb import ClientOrb, RemoteObjectReference
 from repro.errors import ClusterError, CorbaUserException, MiddlewareError
 from repro.net.http import HttpClient
-from repro.net.simnet import Host
+from repro.net.simnet import Address, Host
 from repro.net.transport import Deferred
 from repro.soap.envelope import SoapRequest, SoapResponse
 from repro.soap.wsdl import parse_wsdl
@@ -80,6 +80,16 @@ class ProtocolClient:
         """Map a resolved reply to an outcome category."""
         raise NotImplementedError
 
+    def reset_replica(self, replica: "Replica") -> None:
+        """Reset the transport connection to ``replica`` (timeout recovery).
+
+        Called by the fleet driver when a per-attempt timeout expires: the
+        hung request still owns a FIFO reply expectation on its connection,
+        which must be abandoned before a retry so a late reply cannot
+        mis-correlate.  The base implementation is a no-op (a third-party
+        stack without connection state needs none).
+        """
+
 
 class SoapProtocolClient(ProtocolClient):
     """SOAP-over-HTTP client stack (WSDL description + envelope codec)."""
@@ -117,6 +127,13 @@ class SoapProtocolClient(ProtocolClient):
 
         return wire.transform(decode)
 
+    def reset_replica(self, replica: "Replica") -> None:
+        description = self._descriptions.get(replica.index)
+        if description is None:
+            return
+        address, _path = HttpClient.parse_url(description.endpoint_url)
+        self.http.channel.reset(address)
+
     def classify(self, value: Any, error: BaseException | None) -> str:
         if error is not None:
             return OUTCOME_OTHER
@@ -148,6 +165,12 @@ class CorbaProtocolClient(ProtocolClient):
 
     def call(self, replica: "Replica", operation: str, arguments: tuple[Any, ...]) -> Deferred:
         return self._remotes[replica.index].invoke_async(operation, *arguments)
+
+    def reset_replica(self, replica: "Replica") -> None:
+        remote = self._remotes.get(replica.index)
+        if remote is None or self.orb is None:
+            return
+        self.orb.channel.reset(Address(remote.ior.host, remote.ior.port))
 
     def classify(self, value: Any, error: BaseException | None) -> str:
         if error is None:

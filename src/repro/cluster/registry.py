@@ -15,8 +15,19 @@ per call through a pluggable policy:
 * **least-loaded** — the replica with the fewest in-flight calls at
   selection time, ties broken by replica index.
 
+All three policies are **failover-aware**: a replica whose server node is
+crashed (``node.is_alive`` false, see :mod:`repro.faults`) is skipped —
+round-robin rotates past it, least-loaded excludes it, and a sticky session
+pinned to it deterministically re-pins to the next alive replica in cyclic
+index order (and stays there).  Replicas can also be removed outright
+(:meth:`ServiceEntry.remove_replica`, e.g. replica churn); sticky pins
+reference replicas by their immutable index, so removal re-pins exactly
+like a crash instead of silently shifting every pin.  When every replica of
+a service is dead, selection raises :class:`NoAliveReplicaError`, which
+clients with a retry policy treat as retryable.
+
 All three are deterministic: selection depends only on the (deterministic)
-order in which calls are issued.
+order in which calls are issued and the (deterministic) fault timeline.
 """
 
 from __future__ import annotations
@@ -24,7 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Hashable
 
-from repro.errors import ClusterError, ServiceNotFoundError
+from repro.errors import ClusterError, NoAliveReplicaError, ServiceNotFoundError
 from repro.net.transport import RouteTable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -53,6 +64,12 @@ class Replica:
     calls_routed: int = 0
 
     @property
+    def alive(self) -> bool:
+        """True while the hosting node is up (always true off-cluster)."""
+        node = self.node
+        return node is None or getattr(node, "is_alive", True)
+
+    @property
     def class_name(self) -> str:
         """The dynamic-class name backing this replica."""
         return self.managed.name
@@ -75,7 +92,12 @@ class Replica:
 
 
 class ReplicaPolicy:
-    """Base class for replica-selection policies."""
+    """Base class for replica-selection policies.
+
+    Policies receive the full replica list (dead ones included) and must
+    skip replicas whose node is down, raising :class:`NoAliveReplicaError`
+    when none survive — :func:`_require_alive` implements the common case.
+    """
 
     name = "abstract"
 
@@ -84,8 +106,21 @@ class ReplicaPolicy:
         raise NotImplementedError
 
 
+def _require_alive(replicas: list[Replica]) -> list[Replica]:
+    """The alive subset of ``replicas``; raises when it is empty."""
+    alive = [replica for replica in replicas if replica.alive]
+    if not alive:
+        service = replicas[0].service if replicas else "?"
+        raise NoAliveReplicaError(f"every replica of {service!r} is down")
+    return alive
+
+
 class RoundRobinPolicy(ReplicaPolicy):
-    """Cycle through the replicas in index order, one call at a time."""
+    """Cycle through the replicas in index order, one call at a time.
+
+    Dead replicas are rotated past (the cursor still advances over them, so
+    a restarted replica resumes its original slot in the cycle).
+    """
 
     name = POLICY_ROUND_ROBIN
 
@@ -93,13 +128,25 @@ class RoundRobinPolicy(ReplicaPolicy):
         self._next = 0
 
     def select(self, replicas: list[Replica], client_key: Hashable) -> Replica:
-        replica = replicas[self._next % len(replicas)]
-        self._next += 1
-        return replica
+        count = len(replicas)
+        for _ in range(count):
+            replica = replicas[self._next % count]
+            self._next += 1
+            if replica.alive:
+                return replica
+        service = replicas[0].service if replicas else "?"
+        raise NoAliveReplicaError(f"every replica of {service!r} is down")
 
 
 class StickyPolicy(ReplicaPolicy):
-    """Pin each client to one replica; first contact assigns round-robin."""
+    """Pin each client to one replica; first contact assigns round-robin.
+
+    Pins reference a replica's immutable ``index``, not its list position,
+    so removing a replica never silently shifts another client's pin.  When
+    the pinned replica is dead or removed, the session deterministically
+    re-pins to the next alive replica in cyclic index order — and stays
+    there (no flap-back when the old replica restarts).
+    """
 
     name = POLICY_STICKY
 
@@ -109,20 +156,47 @@ class StickyPolicy(ReplicaPolicy):
 
     def select(self, replicas: list[Replica], client_key: Hashable) -> Replica:
         pin = self._pins.get(client_key)
-        if pin is None:
-            pin = self._next % len(replicas)
+        if pin is not None:
+            for replica in replicas:
+                if replica.index == pin:
+                    if replica.alive:
+                        return replica
+                    break
+            replica = self._repin(replicas, pin)
+            self._pins[client_key] = replica.index
+            return replica
+        # First contact: spread pins round-robin over the *positions*,
+        # skipping dead replicas the same way round-robin routing does.
+        count = len(replicas)
+        if count == 0:
+            raise ClusterError("cannot pin a session: service has no replicas")
+        for _ in range(count):
+            replica = replicas[self._next % count]
             self._next += 1
-            self._pins[client_key] = pin
-        return replicas[pin % len(replicas)]
+            if replica.alive:
+                self._pins[client_key] = replica.index
+                return replica
+        raise NoAliveReplicaError(f"every replica of {replicas[0].service!r} is down")
+
+    @staticmethod
+    def _repin(replicas: list[Replica], pin: int) -> Replica:
+        """The next alive replica in cyclic index order after ``pin``."""
+        alive = _require_alive(replicas)
+        return min(alive, key=lambda r: (0 if r.index > pin else 1, r.index))
 
 
 class LeastLoadedPolicy(ReplicaPolicy):
-    """Pick the replica with the fewest in-flight calls (ties: lowest index)."""
+    """Pick the replica with the fewest in-flight calls (ties: lowest index).
+
+    Crashed replicas are excluded outright — their in-flight counter may be
+    frozen at zero, which must not make a dead node look attractive.
+    """
 
     name = POLICY_LEAST_LOADED
 
     def select(self, replicas: list[Replica], client_key: Hashable) -> Replica:
-        return min(replicas, key=lambda replica: (replica.in_flight, replica.index))
+        alive = _require_alive(replicas)
+        return min(alive, key=lambda replica: (replica.in_flight, replica.index))
 
 
 _POLICY_FACTORIES = {
@@ -152,13 +226,49 @@ class ServiceEntry:
     technology: str
     policy: ReplicaPolicy = field(default_factory=RoundRobinPolicy)
     replicas: list[Replica] = field(default_factory=list)
+    #: High-water mark of indexes ever assigned (survives removals).
+    next_replica_index: int = field(default=0, repr=False, compare=False)
 
     def add_replica(self, node: "ServerNode", managed: "ManagedServer") -> Replica:
-        """Attach one more deployed copy of this service."""
-        replica = Replica(
-            service=self.name, index=len(self.replicas), node=node, managed=managed
+        """Attach one more deployed copy of this service.
+
+        Indexes grow monotonically (never below the high-water mark), so a
+        replica added after a removal can never reuse a departed replica's
+        index and inherit its sticky pins.
+        """
+        index = max(
+            self.next_replica_index,
+            1 + max((replica.index for replica in self.replicas), default=-1),
         )
+        self.next_replica_index = index + 1
+        replica = Replica(service=self.name, index=index, node=node, managed=managed)
         self.replicas.append(replica)
+        return replica
+
+    def remove_replica(self, replica: "Replica | int") -> Replica:
+        """Detach one deployed copy (by object or immutable index).
+
+        Sticky sessions pinned to the removed replica are *not* touched
+        here: the pin re-resolves on the session's next call and re-pins
+        deterministically to the next alive replica in cyclic index order
+        (see :class:`StickyPolicy`).
+        """
+        if isinstance(replica, int):
+            matches = [r for r in self.replicas if r.index == replica]
+            if not matches:
+                raise ClusterError(
+                    f"service {self.name!r} has no replica with index {replica}"
+                )
+            replica = matches[0]
+        try:
+            self.replicas.remove(replica)
+        except ValueError:
+            raise ClusterError(
+                f"replica {replica!r} is not deployed for service {self.name!r}"
+            ) from None
+        # The departed index is burnt whatever way the replica list was
+        # built, so a later add_replica can never resurrect it.
+        self.next_replica_index = max(self.next_replica_index, replica.index + 1)
         return replica
 
     def select(self, client_key: Hashable) -> Replica:
@@ -207,6 +317,10 @@ class ServiceRegistry:
         replica = self.lookup(name).select(client_key)
         replica.calls_routed += 1
         return replica
+
+    def remove_replica(self, name: str, replica: "Replica | int") -> Replica:
+        """Detach one replica of the named service (replica churn)."""
+        return self.lookup(name).remove_replica(replica)
 
     @staticmethod
     def begin_call(replica: Replica) -> None:

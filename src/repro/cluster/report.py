@@ -22,7 +22,38 @@ this report.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+
+#: The percentile levels every per-service / fleet-wide summary reports.
+PERCENTILE_LEVELS = (50.0, 95.0, 99.0)
+
+
+def percentile(values: list[float], level: float) -> float:
+    """The ``level``-th percentile of ``values`` (linear interpolation).
+
+    Deterministic and dependency-free; 0.0 for an empty sample, matching
+    the mean/max conventions of the report objects.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * (level / 100.0)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+def rtt_percentiles(values: list[float]) -> dict[str, float]:
+    """``{"p50": ..., "p95": ..., "p99": ...}`` for one RTT sample."""
+    return {
+        f"p{level:g}": percentile(values, level) for level in PERCENTILE_LEVELS
+    }
 
 
 @dataclass
@@ -44,6 +75,25 @@ class ClientReport:
     service: str = ""
     #: Replica index (within the service) each call was routed to, in call order.
     replica_sequence: list[int] = field(default_factory=list)
+    #: Attempts that failed at the transport level (connection aborted by a
+    #: crash, no alive replica, per-attempt timeout) — §faults availability.
+    failed_attempts: int = 0
+    #: Calls reissued after a failed attempt (failover retries).
+    retried_calls: int = 0
+    #: Calls given up after the retry budget was exhausted (no RTT recorded).
+    abandoned_calls: int = 0
+    #: §6 recency violations: successful replies whose serving replica's
+    #: published interface version (sampled at reply time — a simulation
+    #: probe of server state, not a wire field) is *older* than one this
+    #: client already observed for the service.  The counter measures
+    #: cross-replica published-version monotonicity per client: with
+    #: publication coordinated across replicas (the ``edit``/``publish``/
+    #: ``churn`` timeline actions publish every replica at the same virtual
+    #: instant) the stall protocol keeps it at 0 across crashes, restarts
+    #: and failover; *uncoordinated* per-replica publication is a genuine
+    #: recency hazard and is deliberately flagged (see the
+    #: engineered-violation test in ``tests/faults``).
+    recency_violations: int = 0
 
     @property
     def calls(self) -> int:
@@ -85,6 +135,8 @@ class ReplicaReport:
     stale_call_publications: int = 0
     #: Published interface version when the run finished.
     interface_version: int = 0
+    #: Seconds of the measured window this replica's node was crashed.
+    downtime_s: float = 0.0
 
 
 @dataclass
@@ -154,6 +206,13 @@ class NodeReport:
     busy_seconds: float = 0.0
     waited_seconds: float = 0.0
     max_core_wait: float = 0.0
+    #: Crash→restart episodes that overlapped the measured window.
+    outages: int = 0
+    #: Seconds of the measured window this machine was crashed.
+    downtime_s: float = 0.0
+    #: Restore → first-successful-reply latency of the latest completed
+    #: outage (``None`` when the node never recovered inside the window).
+    recovery_latency_s: float | None = None
 
 
 @dataclass
@@ -185,6 +244,10 @@ class ClusterReport:
     def rtts_for(self, service: str) -> list[float]:
         """Every RTT observed against ``service``, grouped by client."""
         return [rtt for client in self.clients_for(service) for rtt in client.rtts]
+
+    def rtt_percentiles_for(self, service: str) -> dict[str, float]:
+        """p50/p95/p99 RTT of the named service's calls during the run."""
+        return rtt_percentiles(self.rtts_for(service))
 
     # -- fleet-wide aggregates ---------------------------------------------
 
@@ -236,9 +299,41 @@ class ClusterReport:
         return max(rtts) if rtts else 0.0
 
     @property
+    def rtt_percentiles(self) -> dict[str, float]:
+        """Fleet-wide p50/p95/p99 round-trip times."""
+        return rtt_percentiles(self.all_rtts)
+
+    @property
     def throughput(self) -> float:
         """Completed calls per virtual second."""
         return self.total_calls / self.duration if self.duration > 0 else 0.0
+
+    # -- availability aggregates (fault drills) ------------------------------
+
+    @property
+    def total_failed_attempts(self) -> int:
+        """Transport-level attempt failures (aborts, timeouts) fleet-wide."""
+        return sum(client.failed_attempts for client in self.clients)
+
+    @property
+    def total_retried_calls(self) -> int:
+        """Failover retries issued across the whole fleet."""
+        return sum(client.retried_calls for client in self.clients)
+
+    @property
+    def total_abandoned_calls(self) -> int:
+        """Calls abandoned after exhausting their retry budget, fleet-wide."""
+        return sum(client.abandoned_calls for client in self.clients)
+
+    @property
+    def total_recency_violations(self) -> int:
+        """§6 recency violations fleet-wide (the protocol keeps this at 0)."""
+        return sum(client.recency_violations for client in self.clients)
+
+    @property
+    def total_downtime_s(self) -> float:
+        """Crashed machine-seconds within the window, over all nodes."""
+        return sum(node.downtime_s for node in self.nodes)
 
     # -- server-side aggregates (single-service workload compatibility) -----
 

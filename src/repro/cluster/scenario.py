@@ -27,6 +27,12 @@ third :class:`~repro.core.sde.api.Technology` on every server node and a
 matching client-side stack, after which services and clients can use it
 exactly like the SOAP and CORBA built-ins (the §5.3 extensibility claim,
 lifted to the scenario layer).
+
+Fault timeline actions (``crash`` / ``restart`` / ``partition`` /
+``heal`` / ``drop_link`` / ``restore_link`` from :mod:`repro.faults`)
+compose in ``at(...)`` exactly like the developer actions, and
+``clients(..., retry=RetryPolicy(...))`` makes a fleet fail over through
+them — see ARCHITECTURE.md "Fault model".
 """
 
 from __future__ import annotations
@@ -49,6 +55,7 @@ from repro.cluster.topology import ClusterWorld, ServerNode
 from repro.core.cde import ClientDevelopmentEnvironment, DynamicClientBinding
 from repro.core.sde import SDEConfig, Technology
 from repro.errors import ClusterError
+from repro.faults import FaultInjector, RetryPolicy
 from repro.interface import Parameter
 from repro.jpie import DynamicClass
 from repro.net import LatencyModel
@@ -168,6 +175,7 @@ class _ClientGroupSpec:
     arrival: Any
     stale_every: int | None
     stale_operation: str
+    retry: RetryPolicy | None
 
 
 class Scenario:
@@ -262,6 +270,7 @@ class Scenario:
         arrival: Any = 0.0,
         stale_every: int | None = None,
         stale_operation: str = "no_such_operation",
+        retry: RetryPolicy | None = None,
     ) -> "Scenario":
         """Declare a fleet of ``count`` clients.
 
@@ -271,7 +280,10 @@ class Scenario:
         a deterministic weighted interleave.  ``arrival`` staggers start
         times: a float ``s`` starts client *i* at ``i * s``, a callable maps
         the client index to its offset.  ``operation`` defaults to the first
-        operation declared for the target service.
+        operation declared for the target service.  ``retry`` makes the
+        group failover-aware: a :class:`repro.faults.RetryPolicy` reissues
+        transport-failed or timed-out calls against whatever replicas the
+        routing policy still considers alive.
         """
         if count < 1:
             raise ClusterError("a client group needs at least one client")
@@ -289,6 +301,7 @@ class Scenario:
                 arrival=arrival,
                 stale_every=stale_every,
                 stale_operation=stale_operation,
+                retry=retry,
             )
         )
         return self
@@ -372,6 +385,13 @@ class ScenarioRuntime:
         self._deploy_services()
         self._cde: ClientDevelopmentEnvironment | None = None
         self._published_services: set[str] = set()
+        #: The world's fault injector — the ``crash`` / ``restart`` /
+        #: ``partition`` / ``heal`` / ``drop_link`` timeline actions act
+        #: through it, and the fleet driver reads its outage log for the
+        #: report's availability metrics.  Created eagerly (it is inert
+        #: until a fault is injected) so mid-run timeline actions and the
+        #: driver share one instance.
+        self.fault_injector = FaultInjector(self.world)
         #: Bumped by every run(); self-rescheduling timeline actions (churn)
         #: compare against it so a finished window's rounds go quiet.
         self.run_epoch = 0
@@ -512,6 +532,7 @@ class ScenarioRuntime:
             protocol_factories=self._protocol_factories,
             description=f"scenario {self.scenario.name}",
             until=until,
+            faults=self.fault_injector,
         )
         return driver.run()
 
@@ -569,6 +590,7 @@ class ScenarioRuntime:
                         start_offset=offset,
                         stale_every=group.stale_every,
                         stale_operation=group.stale_operation,
+                        retry=group.retry,
                     )
                 )
                 index += 1

@@ -28,6 +28,9 @@ class ServerNode:
         self.environment = JPieEnvironment(f"{name}-jpie")
         self.sde = SDEManager(self.environment, world.scheduler, self.host, config)
         self.manager_interface = SDEManagerInterface(self.sde)
+        #: False while crashed (toggled by :class:`repro.faults.FaultInjector`);
+        #: the registry's routing policies skip dead nodes' replicas.
+        self.is_alive = True
 
     @property
     def scheduler(self) -> Scheduler:

@@ -61,6 +61,12 @@ class TransportError(NetworkError):
     """Raised when a message cannot be delivered (e.g. network partition)."""
 
 
+class ConnectionAbortedError(TransportError):
+    """Raised (asynchronously, through a failed :class:`Deferred`) when an
+    in-flight request's connection is torn down — the peer crashed or the
+    fault layer aborted the link — so callers fail fast instead of hanging."""
+
+
 class HttpError(NetworkError):
     """Raised for malformed HTTP messages or client-side HTTP failures."""
 
@@ -253,3 +259,9 @@ class ClusterError(ReproError):
 
 class ServiceNotFoundError(ClusterError):
     """Raised when a scenario references a service the registry does not know."""
+
+
+class NoAliveReplicaError(ClusterError):
+    """Raised when every replica of a service is crashed (or removed) at
+    selection time; clients with a retry policy treat it as a retryable
+    failure and wait for a restart."""

@@ -1,0 +1,91 @@
+"""Fault timeline actions for the declarative Scenario API.
+
+These compose with :meth:`repro.cluster.Scenario.at` exactly like the
+developer actions (``edit`` / ``publish`` / ``churn``)::
+
+    Scenario()
+    .servers(4)
+    .service("Echo", [op("echo")], replicas=4)
+    .clients(64, service="Echo", retry=RetryPolicy(max_attempts=4, timeout=0.5))
+    .at(0.10, crash("server-2"))
+    .at(0.15, partition("server-3"))       # isolate from everyone
+    .at(0.30, heal("server-3"))
+    .at(0.40, restart("server-2"))
+    .run()
+
+Each helper returns an ``action(runtime)`` callable; the runtime's
+:class:`~repro.faults.FaultInjector` does the actual work.  Server
+references are names (``"server-2"``), zero-based indexes, or
+:class:`~repro.cluster.topology.ServerNode` objects; ``partition`` /
+``heal`` / ``drop_link`` also accept plain client host names.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.scenario import ScenarioRuntime
+    from repro.faults.injector import NodeRef
+
+Action = Callable[["ScenarioRuntime"], None]
+
+
+def crash(server: "NodeRef") -> Action:
+    """Timeline action: crash a server node (endpoints down, calls aborted)."""
+
+    def action(runtime: "ScenarioRuntime") -> None:
+        runtime.fault_injector.crash(server)
+
+    return action
+
+
+def restart(server: "NodeRef") -> Action:
+    """Timeline action: restart a crashed server node (endpoints re-bound)."""
+
+    def action(runtime: "ScenarioRuntime") -> None:
+        runtime.fault_injector.restart(server)
+
+    return action
+
+
+def partition(a: "NodeRef", b: "NodeRef | None" = None) -> Action:
+    """Timeline action: partition two hosts (or isolate ``a`` entirely)."""
+
+    def action(runtime: "ScenarioRuntime") -> None:
+        runtime.fault_injector.partition(a, b)
+
+    return action
+
+
+def heal(a: "NodeRef | None" = None, b: "NodeRef | None" = None) -> Action:
+    """Timeline action: heal one partition, all of ``a``'s, or every one."""
+
+    def action(runtime: "ScenarioRuntime") -> None:
+        runtime.fault_injector.heal(a, b)
+
+    return action
+
+
+def drop_link(
+    a: "NodeRef",
+    b: "NodeRef",
+    loss: float = 1.0,
+    jitter: float = 0.0,
+    seed: int = 0,
+) -> Action:
+    """Timeline action: degrade a link with seeded loss and/or jitter."""
+
+    def action(runtime: "ScenarioRuntime") -> None:
+        runtime.fault_injector.drop_link(a, b, loss=loss, jitter=jitter, seed=seed)
+
+    return action
+
+
+def restore_link(a: "NodeRef", b: "NodeRef") -> Action:
+    """Timeline action: remove the fault profiles from a degraded link."""
+
+    def action(runtime: "ScenarioRuntime") -> None:
+        runtime.fault_injector.restore_link(a, b)
+
+    return action

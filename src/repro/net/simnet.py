@@ -3,8 +3,22 @@
 Hosts attach to a :class:`Network`; binding a :class:`PortListener` to a port
 makes the host reachable; :meth:`Host.send` delivers a :class:`Message` to the
 destination after the delay computed by the network's latency model.  The
-simulator supports per-link latency overrides, partitions (for failure
-injection tests) and per-host/network traffic statistics.
+simulator supports per-link latency overrides, partitions, per-link fault
+profiles (seeded probabilistic loss and jitter — see :mod:`repro.faults`),
+crashed-host semantics and per-host/network traffic statistics.
+
+Fault-model invariants (see ARCHITECTURE.md "Fault model"):
+
+* a *partition* or a *link fault* is evaluated when a message's delivery is
+  scheduled, i.e. at send time — messages already in flight when a partition
+  lands still arrive (like packets already on the wire);
+* a *down host* (``Host.down``, set by :meth:`repro.faults.FaultInjector.crash`)
+  drops traffic in both places: new sends to it are discarded at transmit
+  time and messages already in flight are discarded at delivery time, so a
+  crash takes effect instantly and deterministically;
+* link-fault jitter is clamped per link direction so delayed messages can
+  never overtake earlier ones — per-connection FIFO correlation in the
+  transport layer survives any fault profile.
 
 All payloads are byte strings: every protocol in the reproduction (HTTP, SOAP
 XML, GIOP) serialises to bytes before transmission, exactly as on a real wire.
@@ -12,6 +26,7 @@ XML, GIOP) serialises to bytes before transmission, exactly as on a real wire.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Callable, Protocol
 
@@ -65,6 +80,23 @@ class PortListener(Protocol):
         """Handle a delivered message."""
 
 
+class LinkFault(Protocol):
+    """Anything able to decide one message's fate on a faulty link.
+
+    Implemented by :class:`repro.faults.LinkFaultProfile`; the simnet only
+    knows the protocol, keeping the fault subsystem a strictly higher layer.
+    A profile governs exactly one link direction: ``jitter`` announces the
+    maximum extra delay it may add and ``last_arrival`` is the network's
+    per-direction ordering clamp (jittered messages never overtake).
+    """
+
+    jitter: float
+    last_arrival: float
+
+    def sample(self, size_bytes: int) -> tuple[bool, float]:
+        """Return ``(drop, extra_delay)`` for one message of the given size."""
+
+
 class _CallbackListener:
     """Adapts a plain callable to the :class:`PortListener` protocol."""
 
@@ -94,6 +126,10 @@ class Host:
         self.network = network
         self._listeners: dict[int, PortListener] = {}
         self.stats = TrafficStats()
+        #: True while the machine is crashed: traffic to it is dropped at
+        #: transmit *and* delivery time (see the fault-model invariants in
+        #: the module docstring).  Toggled by :mod:`repro.faults`.
+        self.down = False
 
     # -- ports ------------------------------------------------------------
 
@@ -141,6 +177,13 @@ class Host:
 
     def deliver(self, message: Message) -> None:
         """Called by the network when a message arrives at this host."""
+        if self.down:
+            # The machine crashed while this message was in flight: a dead
+            # NIC receives nothing, so the message is silently discarded
+            # (and counted) instead of reaching a stale listener.
+            self.stats.messages_dropped += 1
+            self.network.stats.messages_dropped += 1
+            return
         listener = self._listeners.get(message.destination.port)
         if listener is None:
             self.stats.messages_dropped += 1
@@ -179,6 +222,17 @@ class Network:
         self._hosts: dict[str, Host] = {}
         self._link_latency: dict[tuple[str, str], LatencyModel] = {}
         self._partitions: set[frozenset[str]] = set()
+        #: Per-direction link fault profiles (``(source, destination)`` →
+        #: an object with ``sample(size_bytes) -> (drop, extra_delay)``,
+        #: e.g. :class:`repro.faults.LinkFaultProfile`).
+        self._link_faults: dict[tuple[str, str], "LinkFault"] = {}
+        #: Weak refs to client channels attached to this network's hosts,
+        #: registered by the transport layer so the fault layer can abort
+        #: their in-flight expectations when a server crashes (fail fast,
+        #: not hang).  Weak so worlds reused across many runs do not
+        #: accumulate dead channels; insertion order is preserved (a
+        #: WeakSet would make crash-abort iteration nondeterministic).
+        self._client_channels: list[weakref.ref] = []
         self._next_message_id = 0
         self.stats = TrafficStats()
         #: Full delivery log, populated only when ``record_deliveries`` is
@@ -238,6 +292,51 @@ class Network:
         """True if traffic between the two hosts is currently dropped."""
         return frozenset((host_a, host_b)) in self._partitions
 
+    @property
+    def partitions(self) -> tuple[frozenset[str], ...]:
+        """Every installed partition pair (iteration-safe snapshot)."""
+        return tuple(self._partitions)
+
+    # -- client-channel registry (transport layer) ---------------------------
+
+    def register_client_channel(self, channel) -> None:
+        """Register a transport client channel for crash-abort delivery."""
+        self._client_channels.append(weakref.ref(channel))
+
+    @property
+    def client_channels(self) -> tuple:
+        """The live registered client channels, in registration order.
+
+        Dead references are compacted away as a side effect, so a world
+        reused for many runs never scans more than its live channels.
+        """
+        live = []
+        live_refs = []
+        for ref in self._client_channels:
+            channel = ref()
+            if channel is not None:
+                live.append(channel)
+                live_refs.append(ref)
+        self._client_channels = live_refs
+        return tuple(live)
+
+    def set_link_fault(self, source: str, destination: str, fault: "LinkFault") -> None:
+        """Install a fault profile on the ``source`` → ``destination`` link.
+
+        One direction only — install a second profile for the reverse
+        direction (each direction keeps its own RNG stream and arrival
+        clamp, see :meth:`repro.faults.FaultInjector.drop_link`).
+        """
+        self._link_faults[(source, destination)] = fault
+
+    def clear_link_fault(self, source: str, destination: str) -> None:
+        """Remove the fault profile from one link direction (no-op if none)."""
+        self._link_faults.pop((source, destination), None)
+
+    def link_fault(self, source: str, destination: str) -> "LinkFault | None":
+        """The fault profile governing ``source`` → ``destination``, if any."""
+        return self._link_faults.get((source, destination))
+
     # -- transmission -------------------------------------------------------
 
     def transmit(self, source: Address, destination: Address, payload: bytes) -> Message:
@@ -256,8 +355,7 @@ class Network:
         would have produced anyway — determinism is unchanged.
         """
         source_host = self.host(source.host)
-        # Destination host must exist at send time (name resolution).
-        self.host(destination.host)
+        destination_host = self.host(destination.host)
 
         size = len(payload)
         self._next_message_id += 1
@@ -277,10 +375,34 @@ class Network:
             self.stats.messages_dropped += 1
             source_host.stats.messages_dropped += 1
             return message
+        if source_host.down or destination_host.down:
+            # A crashed machine neither sends nor receives; dropping at
+            # transmit time keeps the event queue free of doomed deliveries.
+            self.stats.messages_dropped += 1
+            source_host.stats.messages_dropped += 1
+            return message
 
         scheduler = self.scheduler
         latency = self.link_latency(source.host, destination.host)
         delay = latency.one_way_delay(size)
+        if self._link_faults:
+            fault = self._link_faults.get((source.host, destination.host))
+            if fault is not None:
+                drop, extra = fault.sample(size)
+                if drop:
+                    self.stats.messages_dropped += 1
+                    source_host.stats.messages_dropped += 1
+                    return message
+                if fault.jitter > 0.0:
+                    # Jitter must not let a later message overtake an earlier
+                    # one on the same link direction: clamp the arrival to be
+                    # strictly after the latest one already scheduled, so the
+                    # transport layer's per-connection FIFO correlation holds.
+                    arrival = scheduler.clock.now + delay + extra
+                    if arrival <= fault.last_arrival:
+                        arrival = fault.last_arrival + 1e-9
+                    fault.last_arrival = arrival
+                    delay = arrival - scheduler.clock.now
         arrival = scheduler.clock.now + delay
         batch = self._batch
         if (
@@ -305,13 +427,20 @@ class Network:
         record = self.record_deliveries
         hosts = self._hosts
         for index, message in enumerate(messages):
+            target = hosts[message.destination.host]
+            if target.down:
+                # The destination crashed while this message was in flight:
+                # drop at delivery time (see the fault-model invariants).
+                stats.messages_dropped += 1
+                target.stats.messages_dropped += 1
+                continue
             message.delivered_at = now
             stats.messages_received += 1
             stats.bytes_received += message.size_bytes
             if record:
                 self.delivered_messages.append(message)
             try:
-                hosts[message.destination.host].deliver(message)
+                target.deliver(message)
             except BaseException:
                 # A failed delivery (unbound port) aborts the run loop just
                 # as it did when every message was its own event; the rest

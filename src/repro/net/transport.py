@@ -37,7 +37,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Generic, Hashable, TypeVar, Union
 
-from repro.errors import TransportError
+from repro.errors import ConnectionAbortedError, TransportError
 from repro.net.simnet import Address, Host, Message
 from repro.sim.latch import CompletionLatch
 from repro.sim.servercore import ServerCore
@@ -577,6 +577,29 @@ class _ClientConnection:
         else:
             self.channel.host.unbind(self.port)
 
+    @property
+    def pending(self) -> int:
+        """Requests sent on this connection that are still owed a reply."""
+        return len(self._expectations)
+
+    def abort(self, error: BaseException) -> int:
+        """Fail every pending expectation with ``error`` and reset the port.
+
+        The connection-abort path of the fault layer: when the peer crashes,
+        in-flight deferreds fail *now* (so callers can fail over) instead of
+        hanging on replies that will never come.  Like :meth:`reset`, the
+        source port is rotated so a reply that is somehow still in flight
+        lands on a tombstone instead of mis-correlating.
+        """
+        aborted, self._expectations = list(self._expectations), deque()
+        self.channel._tombstone_port(self.port)
+        self.port = self.channel._allocate_port()
+        self.channel.host.bind(self.port, self._on_message)
+        self.channel.requests_aborted += len(aborted)
+        for _parse, deferred in aborted:
+            deferred.fail(error)
+        return len(aborted)
+
     def reset(self) -> int:
         """Abandon every pending expectation, returning how many there were.
 
@@ -630,8 +653,14 @@ class ClientChannel:
         self.replies_received = 0
         #: Replies that arrived for an abandoned (reset/closed) request.
         self.late_replies_dropped = 0
+        #: In-flight requests failed fast by :meth:`abort_pending`.
+        self.requests_aborted = 0
         self._next_port = base_port
         self._connections: dict[Address, _ClientConnection] = {}
+        # Registered (weakly) so the fault layer can find every channel with
+        # in-flight expectations to a crashed host (connection-abort
+        # semantics).
+        host.network.register_client_channel(self)
 
     @property
     def scheduler(self):
@@ -689,6 +718,26 @@ class ClientChannel:
         except BaseException:
             self.reset(destination)
             raise
+
+    def abort_pending(self, destination_host: str, error: BaseException | None = None) -> int:
+        """Fail fast every in-flight expectation aimed at ``destination_host``.
+
+        Called by the fault layer when a server host crashes: each pending
+        deferred on every connection to that host fails with ``error``
+        (default: a :class:`ConnectionAbortedError` naming the host), so
+        callers can retry against another replica immediately instead of
+        hanging on a reply the dead server will never send.
+        Returns how many in-flight requests were aborted.
+        """
+        if error is None:
+            error = ConnectionAbortedError(
+                f"connection to {destination_host!r} aborted: server crashed"
+            )
+        aborted = 0
+        for destination, connection in list(self._connections.items()):
+            if destination.host == destination_host and connection.pending:
+                aborted += connection.abort(error)
+        return aborted
 
     def reset(self, destination: Address) -> int:
         """Abandon the connection's pending expectations after a failure.

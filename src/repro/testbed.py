@@ -16,6 +16,7 @@ server class, adding distributed methods, connecting a client binding).
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable
 
 from repro.cluster.scenario import OperationSpec
@@ -49,6 +50,12 @@ class LiveDevelopmentTestbed:
         client_speed_factor: float = CLIENT_SPEED_FACTOR,
         server_cores: int | None = None,
     ) -> None:
+        warnings.warn(
+            "repro.testbed.LiveDevelopmentTestbed is deprecated; describe the "
+            "world with repro.cluster.Scenario instead (byte-identical results)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         config = sde_config if sde_config is not None else SDEConfig()
         if cost_model is not None and config.cost_model is None:
             config.cost_model = cost_model

@@ -26,6 +26,7 @@ captures how deep the queue got and how the stalled calls drained.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterable
 
@@ -157,6 +158,12 @@ class MultiClientWorkload:
         spec: WorkloadSpec,
         client_hosts: Iterable[Host] | None = None,
     ) -> None:
+        warnings.warn(
+            "repro.workload.MultiClientWorkload is deprecated; declare the "
+            "fleet with repro.cluster.Scenario instead (byte-identical results)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if spec.technology not in (TECHNOLOGY_SOAP, TECHNOLOGY_CORBA):
             raise ValueError(f"unknown technology {spec.technology!r}")
         self.testbed = testbed

@@ -13,12 +13,27 @@ from repro.cluster.registry import (
     StickyPolicy,
     make_policy,
 )
-from repro.errors import ClusterError, ServiceNotFoundError
+from repro.errors import ClusterError, NoAliveReplicaError, ServiceNotFoundError
+
+
+class _FakeNode:
+    """A stand-in server node with just the liveness flag policies read."""
+
+    def __init__(self, name: str = "node", alive: bool = True) -> None:
+        self.name = name
+        self.is_alive = alive
 
 
 def _replicas(count: int) -> list[Replica]:
     return [
         Replica(service="svc", index=index, node=None, managed=None)
+        for index in range(count)
+    ]
+
+
+def _node_replicas(count: int) -> list[Replica]:
+    return [
+        Replica(service="svc", index=index, node=_FakeNode(f"node-{index}"), managed=None)
         for index in range(count)
     ]
 
@@ -48,6 +63,43 @@ class TestPolicies:
         assert policy.select(replicas, "x").index == 2
         replicas[2].in_flight = 1
         assert policy.select(replicas, "x").index == 1
+
+    def test_round_robin_skips_dead_replicas_and_resumes_on_restart(self):
+        policy = RoundRobinPolicy()
+        replicas = _node_replicas(3)
+        replicas[1].node.is_alive = False
+        picks = [policy.select(replicas, "x").index for _ in range(4)]
+        assert picks == [0, 2, 0, 2]
+        replicas[1].node.is_alive = True
+        # The cursor kept advancing over the dead replica, so the revived
+        # replica resumes its original slot in the rotation.
+        assert [policy.select(replicas, "x").index for _ in range(3)] == [0, 1, 2]
+
+    def test_least_loaded_excludes_dead_replicas(self):
+        policy = LeastLoadedPolicy()
+        replicas = _node_replicas(3)
+        replicas[0].node.is_alive = False  # frozen at 0 in-flight, still excluded
+        replicas[1].in_flight = 5
+        assert policy.select(replicas, "x").index == 2
+
+    def test_all_dead_raises_no_alive_replica(self):
+        replicas = _node_replicas(2)
+        for replica in replicas:
+            replica.node.is_alive = False
+        for policy in (RoundRobinPolicy(), StickyPolicy(), LeastLoadedPolicy()):
+            with pytest.raises(NoAliveReplicaError):
+                policy.select(replicas, "x")
+
+    def test_sticky_repins_off_a_dead_replica_and_stays(self):
+        policy = StickyPolicy()
+        replicas = _node_replicas(3)
+        assert policy.select(replicas, "a").index == 0
+        replicas[0].node.is_alive = False
+        # Deterministic re-pin: the next alive replica in cyclic index order.
+        assert policy.select(replicas, "a").index == 1
+        replicas[0].node.is_alive = True
+        # No flap-back once re-pinned.
+        assert policy.select(replicas, "a").index == 1
 
     def test_make_policy_resolves_names_and_passes_instances(self):
         assert isinstance(make_policy("round-robin"), RoundRobinPolicy)
@@ -97,3 +149,49 @@ class TestServiceRegistry:
         registry.register(ServiceEntry("empty", "soap"))
         with pytest.raises(ClusterError):
             registry.select("empty", "client-1")
+
+
+class TestReplicaRemoval:
+    """Regression: removing a replica a sticky session is pinned to must
+    deterministically re-pin the session instead of raising (or silently
+    shifting every other session's pin)."""
+
+    def _entry(self, count: int = 3) -> ServiceEntry:
+        entry = ServiceEntry("mail", "soap", StickyPolicy())
+        entry.replicas.extend(_node_replicas(count))
+        return entry
+
+    def test_remove_by_object_and_by_index(self):
+        entry = self._entry()
+        removed = entry.remove_replica(1)
+        assert removed.index == 1
+        assert [replica.index for replica in entry.replicas] == [0, 2]
+        with pytest.raises(ClusterError):
+            entry.remove_replica(1)  # already gone
+        with pytest.raises(ClusterError):
+            entry.remove_replica(removed)  # not deployed any more
+
+    def test_sticky_session_repins_after_its_replica_is_removed(self):
+        entry = self._entry()
+        assert entry.select("a").index == 0
+        assert entry.select("b").index == 1
+        entry.remove_replica(1)
+        # The orphaned session re-pins to the cyclically next replica —
+        # deterministically, without raising — and stays there.
+        assert entry.select("b").index == 2
+        assert entry.select("b").index == 2
+        # Other sessions' pins are untouched (index identity, not position).
+        assert entry.select("a").index == 0
+
+    def test_removal_then_readdition_never_reuses_an_index(self):
+        entry = self._entry()
+        entry.remove_replica(2)
+        replica = entry.add_replica(_FakeNode("fresh"), None)
+        assert replica.index == 3  # monotone: old pins cannot alias the newcomer
+
+    def test_registry_remove_replica_delegates(self):
+        registry = ServiceRegistry()
+        entry = self._entry()
+        registry.register(entry)
+        registry.remove_replica("mail", 0)
+        assert [replica.index for replica in entry.replicas] == [1, 2]
