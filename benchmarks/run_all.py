@@ -2,9 +2,11 @@
 
 Usage::
 
-    python benchmarks/run_all.py              # run all benchmarks
-    python benchmarks/run_all.py table1       # only files matching the substring
-    python benchmarks/run_all.py --quick      # small parameter grids (CI mode)
+    python benchmarks/run_all.py                 # run all benchmarks
+    python benchmarks/run_all.py table1          # only files matching the substring
+    python benchmarks/run_all.py table1 fault    # several filters: match ANY of them
+    python benchmarks/run_all.py --quick         # small parameter grids (CI mode)
+    python benchmarks/run_all.py --list          # print discovered files, run nothing
 
 Each invocation appends one record to ``BENCH_results.json`` at the repo
 root, so successive PRs accumulate a performance trajectory: wall-clock
@@ -61,11 +63,19 @@ DETERMINISTIC_PREFIX = "deterministic_"
 DETERMINISTIC_FACTOR = 1.05
 
 
-def discover(pattern: str | None = None) -> list[Path]:
-    """Every benchmark file, optionally filtered by a name substring."""
+def discover(patterns: "list[str] | None" = None) -> list[Path]:
+    """Every benchmark file, optionally filtered by name substrings.
+
+    With several patterns a file is kept when it matches *any* of them,
+    so ``run_all.py fault rolling`` runs both drills in one invocation.
+    """
     files = sorted(BENCH_DIR.glob("bench_*.py"))
-    if pattern:
-        files = [path for path in files if pattern in path.name]
+    if patterns:
+        files = [
+            path
+            for path in files
+            if any(pattern in path.name for pattern in patterns)
+        ]
     return files
 
 
@@ -229,12 +239,16 @@ def append_trajectory(
 def main(argv: list[str]) -> int:
     args = argv[1:]
     quick = "--quick" in args
-    args = [arg for arg in args if arg != "--quick"]
-    pattern = args[0] if args else None
-    files = discover(pattern)
+    list_only = "--list" in args
+    patterns = [arg for arg in args if arg not in ("--quick", "--list")]
+    files = discover(patterns or None)
     if not files:
-        print(f"no benchmark files match {pattern!r}", file=sys.stderr)
+        print(f"no benchmark files match {patterns!r}", file=sys.stderr)
         return 2
+    if list_only:
+        for path in files:
+            print(path.name)
+        return 0
     mode = " (quick grids)" if quick else ""
     print(
         f"running {len(files)} benchmark file(s){mode}: "

@@ -24,6 +24,12 @@ and CORBA Servers* (Pallemulle, Goldman & Morgan, WUCSE-2004-75 / ICDCS
   failover-aware routing and a client :class:`~repro.faults.RetryPolicy`,
   so resilience scenarios can prove the §6 recency guarantee under
   failure;
+* the **interface-evolution subsystem** (:mod:`repro.evolve`) — a typed
+  diff engine over published WSDL/IDL documents (compatible vs. breaking
+  publications), per-service version graphs with version-aware routing,
+  and ``rolling`` / ``canary`` / ``abort_rollout`` upgrade drills that
+  move an N-replica fleet to a new interface while hundreds of clients
+  keep calling;
 * experiment drivers reproducing every table and figure of the evaluation
   (:mod:`repro.experiments`), plus the legacy two-host testbed
   (:mod:`repro.testbed`), now a thin adapter over the cluster layer.
@@ -72,6 +78,16 @@ from repro.cluster import (
     publish,
 )
 from repro.errors import ReproError
+from repro.evolve import (
+    InterfaceDelta,
+    InterfaceUpgrade,
+    abort_rollout,
+    canary,
+    diff_descriptions,
+    diff_documents,
+    rolling,
+    upgrade,
+)
 from repro.faults import (
     RetryPolicy,
     crash,
@@ -96,7 +112,7 @@ from repro.rmitypes import (
 )
 from repro.testbed import LiveDevelopmentTestbed, OperationSpec
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ReproError",
@@ -122,6 +138,14 @@ __all__ = [
     "edit",
     "publish",
     "churn",
+    "rolling",
+    "canary",
+    "abort_rollout",
+    "upgrade",
+    "InterfaceUpgrade",
+    "InterfaceDelta",
+    "diff_descriptions",
+    "diff_documents",
     "crash",
     "restart",
     "partition",

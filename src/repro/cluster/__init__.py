@@ -29,6 +29,13 @@ its timeline actions (``crash`` / ``restart`` / ``partition`` / ``heal`` /
 :class:`~repro.faults.RetryPolicy` are re-exported here so resilience
 scenarios read as one vocabulary (see ARCHITECTURE.md "Fault model").
 
+Likewise the interface-evolution subsystem (:mod:`repro.evolve`): its
+rollout timeline actions (``rolling`` / ``canary`` / ``abort_rollout``)
+and the ``upgrade`` helper are re-exported, and every
+:class:`~repro.cluster.registry.ServiceEntry` carries the subsystem's
+per-service version graph and version-aware routing switches (see
+ARCHITECTURE.md "Interface evolution").
+
 The legacy two-host :class:`repro.testbed.LiveDevelopmentTestbed` and the
 single-service :mod:`repro.workload` driver are thin adapters over this
 package.
@@ -73,6 +80,15 @@ from repro.cluster.scenario import (
     publish,
 )
 from repro.cluster.topology import ClusterWorld, ServerNode
+from repro.evolve import (
+    InterfaceUpgrade,
+    RolloutReport,
+    WaveReport,
+    abort_rollout,
+    canary,
+    rolling,
+    upgrade,
+)
 from repro.faults import (
     FaultInjector,
     LinkFaultProfile,
@@ -93,6 +109,13 @@ __all__ = [
     "edit",
     "publish",
     "churn",
+    "rolling",
+    "canary",
+    "abort_rollout",
+    "upgrade",
+    "InterfaceUpgrade",
+    "RolloutReport",
+    "WaveReport",
     "crash",
     "restart",
     "partition",

@@ -46,6 +46,7 @@ from repro.cluster.report import (
     ServiceReport,
 )
 from repro.errors import NoAliveReplicaError, TransportError
+from repro.evolve.graph import ClientBinding
 from repro.faults.policy import RetryPolicy
 from repro.net.simnet import Host
 from repro.sim.scheduler import Scheduler
@@ -101,13 +102,24 @@ class _FleetClient:
         self.driver = driver
         self.plan = plan
         self.retry = plan.retry
-        entry = driver.registry.lookup(plan.service)
+        self.entry = driver.registry.lookup(plan.service)
         factory = driver.protocol_factory(plan.protocol)
-        self.stack: ProtocolClient = factory(plan.host, plan.index, entry.replicas)
+        self.stack: ProtocolClient = factory(plan.host, plan.index, self.entry.replicas)
         self.report = ClientReport(
             name=plan.host.name, protocol=plan.protocol, service=plan.service
         )
+        #: Stub-binding state for version-aware routing: which description
+        #: this client compiled stubs from, per replica, plus the recency
+        #: watermark.  Inert (pure bookkeeping) unless the service entry has
+        #: ``version_routing`` armed.
+        self.binding = ClientBinding()
         self._calls_issued = 0
+        #: The operation this client currently calls; starts at the plan's
+        #: and may switch to an upgrade-declared successor after a rebind.
+        self._operation = plan.operation
+        #: True while the in-progress call is a deliberate ``stale_every``
+        #: probe (those must not trigger a rebind).
+        self._probe = False
         #: Attempts made for the call currently in progress.
         self._attempts = 0
         #: Virtual time the current call's *first* attempt was issued.
@@ -122,6 +134,10 @@ class _FleetClient:
     def prepare(self) -> None:
         """Fetch and parse the published interface documents (blocking)."""
         self.stack.prepare()
+        for replica in self.entry.replicas:
+            description = self.stack.bound_description(replica.index)
+            if description is not None:
+                self.binding.bind(replica.index, description)
 
     def start(self) -> None:
         """Issue this client's first call."""
@@ -139,8 +155,9 @@ class _FleetClient:
             return
         self._calls_issued += 1
         call_number = self._calls_issued
-        operation, arguments = plan.operation, plan.arguments
-        if plan.stale_every and call_number % plan.stale_every == 0:
+        operation, arguments = self._operation, plan.arguments
+        self._probe = bool(plan.stale_every and call_number % plan.stale_every == 0)
+        if self._probe:
             operation, arguments = plan.stale_operation, ()
         self._attempts = 0
         self._call_started = self.driver.scheduler.now
@@ -154,7 +171,9 @@ class _FleetClient:
         driver = self.driver
         self._attempts += 1
         try:
-            replica = driver.registry.select(self.plan.service, self.report.name)
+            replica = driver.registry.select(
+                self.plan.service, self.report.name, binding=self.binding
+            )
         except NoAliveReplicaError:
             self._attempt_failed(operation, arguments)
             return
@@ -237,9 +256,24 @@ class _FleetClient:
             return
         self.report.rtts.append(self.driver.scheduler.now - self._call_started)
         self._count(outcome)
+        self.driver._note_version_call(replica)
+        rollout = self.entry.active_rollout
+        if rollout is not None:
+            rollout.note_call(outcome)
         if outcome == OUTCOME_SUCCESS:
             self._observe_recency(replica)
             self.driver._note_success(replica)
+        elif (
+            outcome == OUTCOME_STALE
+            and not self._probe
+            and self.entry.version_routing
+        ):
+            # A planned call hit a replica whose interface moved under the
+            # client's stubs (a breaking publication): the §5.7 stale fault
+            # is the visible signal — never a silently wrong answer — and
+            # the client rebinds before its next call.
+            self._rebind(replica)
+            return
         self._after_call()
 
     # -- failure/retry path --------------------------------------------------
@@ -288,8 +322,57 @@ class _FleetClient:
         else:
             self._next_call()
 
+    # -- interface evolution: rebind after a breaking publication ------------
+
+    def _rebind(self, replica: Replica) -> None:
+        """Refresh this client's stubs for ``replica``, then resume calling.
+
+        The stall protocol guarantees the published interface was current
+        when the stale fault was served, so the version observed here
+        legitimately raises the routing watermark — after which the fresh
+        tier keeps this client off replicas still publishing older versions.
+        """
+        self.binding.observe(replica.publisher.version)
+        if not replica.alive:
+            # The replica crashed after serving the stale fault: a re-fetch
+            # to the dead node would never resolve.  Skip the refresh — the
+            # next call routes elsewhere and rebinds there if still needed.
+            self._after_call()
+            return
+        deferred = self.stack.rebind_replica(replica)
+
+        def rebound(_value: Any, error: BaseException | None, _delay: float) -> None:
+            if self.driver.closed:
+                return
+            if error is not None:
+                # The re-fetch failed (e.g. a crash aborted it in flight):
+                # the stubs were not refreshed, so this is not a rebind —
+                # the client simply resumes and will fault-and-retry again.
+                self._after_call()
+                return
+            self.report.rebinds += 1
+            rollout = self.entry.active_rollout
+            if rollout is not None:
+                rollout.note_rebind()
+            description = self.stack.bound_description(replica.index)
+            if description is not None:
+                self.binding.bind(replica.index, description)
+                self._re_resolve_operation(description)
+            self._after_call()
+
+        deferred.subscribe(rebound)
+
+    def _re_resolve_operation(self, description: Any) -> None:
+        """Point future calls at the upgrade's successor when ours is gone."""
+        if description.has_operation(self._operation):
+            return
+        successor = self.entry.operation_successors.get(self._operation)
+        if successor and description.has_operation(successor):
+            self._operation = successor
+
     def _observe_recency(self, replica: Replica) -> None:
         version = replica.publisher.version
+        self.binding.observe(version)
         if version < self._seen_version:
             self.report.recency_violations += 1
         else:
@@ -336,7 +419,7 @@ class _ReplicaSnapshot:
             stats.max_stall_queue_depth, self.lifetime_max_stall_depth
         )
 
-    def report(self) -> ReplicaReport:
+    def report(self, calls_by_version: dict[int, int] | None = None) -> ReplicaReport:
         """Build this replica's per-run report and restore lifetime gauges."""
         replica = self.replica
         stats = replica.call_handler.stats
@@ -344,6 +427,7 @@ class _ReplicaSnapshot:
         stats.max_stall_queue_depth = max(run_max_depth, self.lifetime_max_stall_depth)
         publisher = replica.publisher
         return ReplicaReport(
+            calls_by_version=dict(calls_by_version or {}),
             service=replica.service,
             index=replica.index,
             node=replica.node.name,
@@ -459,6 +543,10 @@ class FleetDriver:
         #: timers, in-flight replies of a deadline-cut run) become no-ops so
         #: they cannot contaminate a later run on the same world.
         self.closed = False
+        #: Per-replica completed-call counts keyed by the serving replica's
+        #: published interface version at reply time (``id(replica)`` ->
+        #: ``{version: calls}``) — the rollout observability feed.
+        self._version_calls: dict[int, dict[int, int]] = {}
         self.clients = [_FleetClient(self, plan) for plan in self.plans]
         self._finished_clients = 0
 
@@ -536,7 +624,9 @@ class FleetDriver:
                     technology=service.technology,
                     policy=service.policy.name,
                     replicas=[
-                        snapshot_by_replica[id(replica)].report()
+                        snapshot_by_replica[id(replica)].report(
+                            self._version_calls.get(id(replica))
+                        )
                         for replica in service.replicas
                     ],
                 )
@@ -544,12 +634,19 @@ class FleetDriver:
         node_reports = [node_snapshot.report() for node_snapshot in node_snapshots]
         if self.faults is not None and self.faults.has_outages:
             self._apply_availability(node_reports, service_reports, started_at, finished_at)
+        rollouts = [
+            record
+            for service in self.registry.services
+            for record in service.rollout_history
+            if record.started_at >= started_at
+        ]
         return ClusterReport(
             started_at=started_at,
             finished_at=finished_at,
             clients=[client.report for client in self.clients],
             services=service_reports,
             nodes=node_reports,
+            rollouts=rollouts,
             events_dispatched=self.scheduler.dispatched_count - events_before,
         )
 
@@ -565,6 +662,12 @@ class FleetDriver:
 
     def _client_finished(self) -> None:
         self._finished_clients += 1
+
+    def _note_version_call(self, replica: Replica) -> None:
+        """Count one completed call under the replica's current version."""
+        per_version = self._version_calls.setdefault(id(replica), {})
+        version = replica.publisher.version
+        per_version[version] = per_version.get(version, 0) + 1
 
     def _note_success(self, replica: Replica) -> None:
         """Stamp recovery bookkeeping for a successful reply (fault drills)."""

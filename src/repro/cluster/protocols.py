@@ -80,6 +80,32 @@ class ProtocolClient:
         """Map a resolved reply to an outcome category."""
         raise NotImplementedError
 
+    # -- interface evolution -------------------------------------------------
+
+    def bound_description(self, replica_index: int):
+        """The interface description this stack's stubs were built from.
+
+        The version-aware routing layer compares it against each replica's
+        currently published description.  ``None`` (the base default, for
+        stacks without parsed descriptions) disables the compatibility
+        check for that replica.
+        """
+        return None
+
+    def rebind_replica(self, replica: "Replica") -> Deferred:
+        """Asynchronously re-fetch and re-parse one replica's documents.
+
+        Called by the fleet driver after a §5.7 stale fault under
+        version-aware routing: the client's stubs are outdated, so it
+        rebinds — the simulated analogue of re-running WSDL2Java / the IDL
+        compiler — and only then resumes calling.  The base implementation
+        resolves immediately (a stack without documents has nothing to
+        refresh).
+        """
+        deferred: Deferred = Deferred(f"rebind {replica.service}#{replica.index}")
+        deferred.complete(None)
+        return deferred
+
     def reset_replica(self, replica: "Replica") -> None:
         """Reset the transport connection to ``replica`` (timeout recovery).
 
@@ -134,6 +160,26 @@ class SoapProtocolClient(ProtocolClient):
         address, _path = HttpClient.parse_url(description.endpoint_url)
         self.http.channel.reset(address)
 
+    def bound_description(self, replica_index: int):
+        return self._descriptions.get(replica_index)
+
+    def rebind_replica(self, replica: "Replica") -> Deferred:
+        wire = self.http.request_async("GET", replica.publisher.document_url)
+
+        def decode(response, error):
+            if error is not None:
+                raise error
+            if not response.ok:
+                raise MiddlewareError(
+                    f"could not re-retrieve WSDL: HTTP {response.status}"
+                )
+            description = parse_wsdl(response.body)
+            self._descriptions[replica.index] = description
+            self._registries[replica.index] = description.type_registry()
+            return description
+
+        return wire.transform(decode)
+
     def classify(self, value: Any, error: BaseException | None) -> str:
         if error is not None:
             return OUTCOME_OTHER
@@ -171,6 +217,27 @@ class CorbaProtocolClient(ProtocolClient):
         if remote is None or self.orb is None:
             return
         self.orb.channel.reset(Address(remote.ior.host, remote.ior.port))
+
+    def bound_description(self, replica_index: int):
+        return self._descriptions.get(replica_index)
+
+    def rebind_replica(self, replica: "Replica") -> Deferred:
+        # The IOR survives republication (the endpoint keeps its port), so a
+        # rebind only refreshes the IDL document and the parsed description.
+        wire = self.http.request_async("GET", replica.publisher.document_url)
+
+        def decode(response, error):
+            if error is not None:
+                raise error
+            if not response.ok:
+                raise MiddlewareError(
+                    f"could not re-retrieve IDL: HTTP {response.status}"
+                )
+            description = parse_idl(response.body)
+            self._descriptions[replica.index] = description
+            return description
+
+        return wire.transform(decode)
 
     def classify(self, value: Any, error: BaseException | None) -> str:
         if error is None:

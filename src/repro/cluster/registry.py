@@ -28,6 +28,26 @@ clients with a retry policy treat as retryable.
 
 All three are deterministic: selection depends only on the (deterministic)
 order in which calls are issued and the (deterministic) fault timeline.
+
+Since the interface-evolution subsystem (:mod:`repro.evolve`) every entry
+also carries a per-service **version graph** (each replica's publication
+history) and can route **version-aware**: when ``version_routing`` is armed
+(a rollout does this automatically) and the caller supplies its
+:class:`~repro.evolve.graph.ClientBinding`, selection narrows the policy's
+candidate list in two tiers —
+
+1. replicas that are alive, *fresh* (publish at least the client's §6
+   recency watermark) and *compatible* with the stubs the client bound;
+2. replicas that are alive and fresh (the client will observe an explicit
+   §5.7 stale fault there and rebind — never a silently wrong answer);
+
+and when not even a fresh replica is alive, raises
+:class:`NoAliveReplicaError` (retryable, exactly like the all-dead case):
+serving from an alive-but-older replica would silently violate §6.
+
+Freshness is what preserves the §6 recency guarantee *across* a rollout's
+deliberately-divergent replica versions: once a client has observed v+1 it
+is never routed back to a replica still publishing v.
 """
 
 from __future__ import annotations
@@ -36,11 +56,14 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Hashable
 
 from repro.errors import ClusterError, NoAliveReplicaError, ServiceNotFoundError
+from repro.evolve.graph import VersionGraph
 from repro.net.transport import RouteTable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.sde.manager import ManagedServer
     from repro.cluster.topology import ServerNode
+    from repro.evolve.graph import ClientBinding
+    from repro.evolve.rollout import RolloutController, RolloutReport
 
 POLICY_ROUND_ROBIN = "round-robin"
 POLICY_STICKY = "sticky"
@@ -228,6 +251,27 @@ class ServiceEntry:
     replicas: list[Replica] = field(default_factory=list)
     #: High-water mark of indexes ever assigned (survives removals).
     next_replica_index: int = field(default=0, repr=False, compare=False)
+    #: Per-replica publication history (fed by the publishers' hooks when
+    #: the service is deployed through a Scenario).
+    version_graph: VersionGraph = field(
+        default_factory=VersionGraph, repr=False, compare=False
+    )
+    #: When True, :meth:`select` honours the caller's ClientBinding (armed
+    #: automatically by a rollout, or per-service in the Scenario API).
+    version_routing: bool = field(default=False, compare=False)
+    #: Retired operation -> replacement, for clients rebinding across a
+    #: breaking upgrade (installed by the upgrade's ``successors``).
+    operation_successors: dict[str, str] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    #: The rollout currently driving this service's replicas, if any.
+    active_rollout: "RolloutController | None" = field(
+        default=None, repr=False, compare=False
+    )
+    #: Every rollout ever run against this service, in start order.
+    rollout_history: "list[RolloutReport]" = field(
+        default_factory=list, repr=False, compare=False
+    )
 
     def add_replica(self, node: "ServerNode", managed: "ManagedServer") -> Replica:
         """Attach one more deployed copy of this service.
@@ -271,11 +315,46 @@ class ServiceEntry:
         self.next_replica_index = max(self.next_replica_index, replica.index + 1)
         return replica
 
-    def select(self, client_key: Hashable) -> Replica:
-        """Pick the replica for ``client_key``'s next call."""
+    def select(self, client_key: Hashable, binding: "ClientBinding | None" = None) -> Replica:
+        """Pick the replica for ``client_key``'s next call.
+
+        With version routing armed and a ``binding`` supplied, the policy
+        chooses among the compatible-and-fresh replicas first, then the
+        merely fresh ones (stale-fault + rebind territory) — see the module
+        docstring for the invariants each tier preserves.  When *no* alive
+        replica is fresh, serving the call at all would hand the client an
+        interface older than one it already observed, so selection raises
+        :class:`NoAliveReplicaError` (retryable, like the all-dead case)
+        rather than silently violating §6.
+
+        Narrowing interacts with sticky sessions deliberately: a pinned
+        replica excluded by a wave's incompatibility re-pins exactly like a
+        dead one — deterministically, with no flap-back — so a session that
+        crosses replicas during an upgrade stays migrated.
+        """
         if not self.replicas:
             raise ClusterError(f"service {self.name!r} has no replicas")
-        return self.policy.select(self.replicas, client_key)
+        candidates = self.replicas
+        if self.version_routing and binding is not None:
+            fresh = [
+                replica
+                for replica in self.replicas
+                if replica.alive and binding.fresh(replica)
+            ]
+            compatible = [
+                replica for replica in fresh if binding.compatible_with(replica)
+            ]
+            if compatible:
+                candidates = compatible
+            elif fresh:
+                candidates = fresh
+            else:
+                raise NoAliveReplicaError(
+                    f"every replica of {self.name!r} is down or publishes an "
+                    f"interface older than the client already observed "
+                    f"(watermark v{binding.seen_version})"
+                )
+        return self.policy.select(candidates, client_key)
 
     def __repr__(self) -> str:
         return (
@@ -295,6 +374,8 @@ class ServiceRegistry:
         """Register a service under its exact name."""
         if any(existing.name == entry.name for existing in self._services):
             raise ClusterError(f"service {entry.name!r} is already registered")
+        if not entry.version_graph.service:
+            entry.version_graph.service = entry.name
         self._routes.add_exact(entry.name, entry)
         self._services.append(entry)
         return entry
@@ -312,9 +393,14 @@ class ServiceRegistry:
             )
         return entry
 
-    def select(self, name: str, client_key: Hashable) -> Replica:
+    def select(
+        self,
+        name: str,
+        client_key: Hashable,
+        binding: "ClientBinding | None" = None,
+    ) -> Replica:
         """Pick (and account) the replica for ``client_key``'s next call."""
-        replica = self.lookup(name).select(client_key)
+        replica = self.lookup(name).select(client_key, binding)
         replica.calls_routed += 1
         return replica
 

@@ -24,16 +24,23 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.evolve.rollout import RolloutReport
 
 #: The percentile levels every per-service / fleet-wide summary reports.
 PERCENTILE_LEVELS = (50.0, 95.0, 99.0)
 
 
-def percentile(values: list[float], level: float) -> float:
+def percentile(values: Sequence[float], level: float) -> float:
     """The ``level``-th percentile of ``values`` (linear interpolation).
 
-    Deterministic and dependency-free; 0.0 for an empty sample, matching
-    the mean/max conventions of the report objects.
+    Deterministic and dependency-free.  An empty sample returns 0.0 —
+    matching the mean/max conventions of the report objects — so a
+    scenario that completed zero calls (a deadline cut the run before the
+    first reply, every call abandoned, ...) reports cleanly instead of
+    raising; ``tests/cluster/test_report.py`` pins this down.
     """
     if not values:
         return 0.0
@@ -49,8 +56,11 @@ def percentile(values: list[float], level: float) -> float:
     return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
 
 
-def rtt_percentiles(values: list[float]) -> dict[str, float]:
-    """``{"p50": ..., "p95": ..., "p99": ...}`` for one RTT sample."""
+def rtt_percentiles(values: Sequence[float]) -> dict[str, float]:
+    """``{"p50": ..., "p95": ..., "p99": ...}`` for one RTT sample.
+
+    Like :func:`percentile`, safe on an empty sample (all levels 0.0).
+    """
     return {
         f"p{level:g}": percentile(values, level) for level in PERCENTILE_LEVELS
     }
@@ -92,8 +102,15 @@ class ClientReport:
     #: instant) the stall protocol keeps it at 0 across crashes, restarts
     #: and failover; *uncoordinated* per-replica publication is a genuine
     #: recency hazard and is deliberately flagged (see the
-    #: engineered-violation test in ``tests/faults``).
+    #: engineered-violation test in ``tests/faults``).  Rollouts publish
+    #: per replica *by design*; there the version-aware routing layer
+    #: enforces per-client monotonicity instead (ARCHITECTURE.md
+    #: "Interface evolution").
     recency_violations: int = 0
+    #: Stub refreshes after a §5.7 stale fault under version-aware routing
+    #: (the client re-fetched a replica's interface document and re-bound —
+    #: the observable signature of a breaking upgrade reaching this client).
+    rebinds: int = 0
 
     @property
     def calls(self) -> int:
@@ -137,6 +154,10 @@ class ReplicaReport:
     interface_version: int = 0
     #: Seconds of the measured window this replica's node was crashed.
     downtime_s: float = 0.0
+    #: Completed calls keyed by the interface version this replica was
+    #: publishing when each reply was classified — during a rollout the
+    #: mixed-version traffic shows up here, per replica.
+    calls_by_version: dict[int, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -195,6 +216,15 @@ class ServiceReport:
         """Highest published interface version across the replicas."""
         return max((replica.interface_version for replica in self.replicas), default=0)
 
+    @property
+    def calls_by_version(self) -> dict[int, int]:
+        """Completed calls per published interface version, service-wide."""
+        merged: dict[int, int] = {}
+        for replica in self.replicas:
+            for version, calls in replica.calls_by_version.items():
+                merged[version] = merged.get(version, 0) + calls
+        return dict(sorted(merged.items()))
+
 
 @dataclass
 class NodeReport:
@@ -224,6 +254,10 @@ class ClusterReport:
     clients: list[ClientReport] = field(default_factory=list)
     services: list[ServiceReport] = field(default_factory=list)
     nodes: list[NodeReport] = field(default_factory=list)
+    #: Rollouts (:class:`~repro.evolve.rollout.RolloutReport`) that started
+    #: inside the measured window, with wave durations, per-window call /
+    #: stale-fault / rebind counters and the diff engine's classification.
+    rollouts: "list[RolloutReport]" = field(default_factory=list)
     #: Scheduler events dispatched inside the measured window — a fully
     #: deterministic proxy for how much simulated work the run performed.
     events_dispatched: int = 0
@@ -236,6 +270,10 @@ class ClusterReport:
             if entry.name == name:
                 return entry
         raise KeyError(f"no service {name!r} in this report")
+
+    def rollouts_for(self, service: str) -> "list[RolloutReport]":
+        """The window's rollouts that targeted ``service``, in start order."""
+        return [rollout for rollout in self.rollouts if rollout.service == service]
 
     def clients_for(self, service: str) -> list[ClientReport]:
         """The clients that targeted ``service``, in start order."""
@@ -329,6 +367,11 @@ class ClusterReport:
     def total_recency_violations(self) -> int:
         """§6 recency violations fleet-wide (the protocol keeps this at 0)."""
         return sum(client.recency_violations for client in self.clients)
+
+    @property
+    def total_rebinds(self) -> int:
+        """Stub rebinds after stale faults fleet-wide (breaking upgrades)."""
+        return sum(client.rebinds for client in self.clients)
 
     @property
     def total_downtime_s(self) -> float:

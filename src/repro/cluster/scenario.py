@@ -161,6 +161,7 @@ class _ServiceSpec:
     technology: str | None
     replicas: int
     policy: Any
+    version_routing: bool = False
 
 
 @dataclass(frozen=True)
@@ -246,12 +247,22 @@ class Scenario:
         technology: str | None = None,
         replicas: int = 1,
         policy: Any = POLICY_ROUND_ROBIN,
+        version_routing: bool = False,
     ) -> "Scenario":
-        """Declare a service: replicas spread round-robin over the servers."""
+        """Declare a service: replicas spread round-robin over the servers.
+
+        ``version_routing`` arms version-aware replica selection from the
+        start (clients stay on replicas fresh w.r.t. their §6 watermark and
+        compatible with their bound stubs); a ``rolling`` / ``canary``
+        rollout arms it automatically when it starts, so the flag is only
+        needed for scenarios that diverge replica versions by hand.
+        """
         if replicas < 1:
             raise ClusterError(f"service {name!r} needs at least one replica")
         self._services.append(
-            _ServiceSpec(name, tuple(operations), technology, replicas, policy)
+            _ServiceSpec(
+                name, tuple(operations), technology, replicas, policy, version_routing
+            )
         )
         return self
 
@@ -405,13 +416,16 @@ class ScenarioRuntime:
         for spec in self.scenario._services:
             technology_name = spec.technology or self._default_technology()
             entry = ServiceEntry(spec.name, technology_name, make_policy(spec.policy))
+            entry.version_routing = spec.version_routing
             suffixed = spec.replicas > len(self.nodes)
             for index in range(spec.replicas):
                 # The placement cursor advances across services, so a later
                 # service fills the machines an earlier one left idle.
                 node = self.nodes[self._placement_cursor % len(self.nodes)]
                 self._placement_cursor += 1
-                class_name = f"{spec.name}-{index + 1}" if suffixed else spec.name
+                # Underscore, not dash: the class name must stay a valid
+                # identifier (the dashed variant failed class creation).
+                class_name = f"{spec.name}_{index + 1}" if suffixed else spec.name
                 gateway = node.sde.gateway_class(technology_name)
                 dynamic_class = node.environment.create_class(class_name, superclass=gateway)
                 for op_spec in spec.operations:
@@ -423,9 +437,29 @@ class ScenarioRuntime:
                         distributed=True,
                     )
                 dynamic_class.new_instance()
-                entry.add_replica(node, node.sde.managed_server(class_name))
+                replica = entry.add_replica(node, node.sde.managed_server(class_name))
+                self._watch_publications(entry, replica)
             self.registry.register(entry)
             self._service_specs[spec.name] = spec
+
+    @staticmethod
+    def _watch_publications(entry: ServiceEntry, replica: Replica) -> None:
+        """Feed the service's version graph from this replica's publisher.
+
+        The minimal deployment-time publication already happened before the
+        replica joined the registry, so the publisher's history is
+        backfilled first and the listener keeps the graph current from here
+        on (pure bookkeeping — no scheduler events, determinism preserved).
+        """
+        graph = entry.version_graph
+        publisher = replica.publisher
+        for record in publisher.publication_history:
+            graph.record(replica.index, record.version, record.description, record.time)
+        publisher.publication_listeners.append(
+            lambda record, index=replica.index: graph.record(
+                index, record.version, record.description, record.time
+            )
+        )
 
     # -- inspection ---------------------------------------------------------
 

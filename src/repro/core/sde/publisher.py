@@ -114,6 +114,12 @@ class DLPublisher:
         self._pending_generation = False
         self._force_next_publication = False
         self._waiters: list[Callable[[], None]] = []
+        #: Called with each new :class:`PublicationRecord` the instant it is
+        #: published — the hook the interface-evolution layer uses to feed
+        #: per-replica version graphs (:mod:`repro.evolve`).  Listeners must
+        #: be pure bookkeeping: they run inside the publication step and
+        #: must not schedule events or mutate the managed class.
+        self.publication_listeners: list[Callable[[PublicationRecord], None]] = []
 
     # -- abstract rendering -------------------------------------------------
 
@@ -309,15 +315,16 @@ class DLPublisher:
         self.interface_server.publish(self.document_path, document, self.content_type)
         self.published_description = versioned
         self.published_document = document
-        self.publication_history.append(
-            PublicationRecord(
-                version=self.version,
-                time=self.scheduler.now,
-                description=versioned,
-                forced=forced,
-            )
+        record = PublicationRecord(
+            version=self.version,
+            time=self.scheduler.now,
+            description=versioned,
+            forced=forced,
         )
+        self.publication_history.append(record)
         self.stats.publications += 1
+        for listener in self.publication_listeners:
+            listener(record)
 
     def _flush_waiters(self) -> None:
         waiters, self._waiters = self._waiters, []

@@ -265,3 +265,14 @@ class NoAliveReplicaError(ClusterError):
     """Raised when every replica of a service is crashed (or removed) at
     selection time; clients with a retry policy treat it as a retryable
     failure and wait for a restart."""
+
+
+# -- interface-evolution layer -----------------------------------------------------
+
+
+class EvolveError(ReproError):
+    """Raised by the interface-evolution subsystem (:mod:`repro.evolve`)."""
+
+
+class RolloutError(EvolveError):
+    """Raised on invalid rollout plans (overlapping rollouts, empty upgrades)."""

@@ -1,0 +1,108 @@
+"""Rollout timeline actions for the declarative Scenario API.
+
+These compose with :meth:`repro.cluster.Scenario.at` exactly like the
+developer actions (``edit`` / ``publish`` / ``churn``) and the fault
+actions (``crash`` / ``partition`` / ...)::
+
+    change = upgrade(add=[op("echo_v2", (("m", STRING),), STRING, body=...)],
+                     remove=["echo"], successors={"echo": "echo_v2"})
+    Scenario()
+    .servers(4)
+    .service("Echo", [echo], replicas=4)
+    .clients(256, service="Echo", calls=8)
+    .at(0.05, rolling("Echo", change, batch_size=1, drain=0.03))
+    .run()
+
+Each helper returns an ``action(runtime)`` callable; a
+:class:`~repro.evolve.rollout.RolloutController` does the actual work and
+arms version-aware routing on the service the moment the rollout starts.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.evolve.rollout import (
+    STRATEGY_CANARY,
+    STRATEGY_ROLLING,
+    InterfaceUpgrade,
+    RolloutController,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.scenario import ScenarioRuntime
+
+Action = Callable[["ScenarioRuntime"], None]
+
+
+def rolling(
+    service: str,
+    change: InterfaceUpgrade,
+    batch_size: int = 1,
+    drain: float = 0.0,
+    retry_interval: float = 0.05,
+) -> Action:
+    """Timeline action: roll ``change`` across the replicas in batches.
+
+    Replicas upgrade in immutable-index order, ``batch_size`` at a time,
+    with ``drain`` virtual seconds between a wave's publication completing
+    and the next wave's edits.  Crashed replicas are deferred and upgraded
+    when they restart (polled every ``retry_interval`` seconds).
+    """
+
+    def action(runtime: "ScenarioRuntime") -> None:
+        RolloutController(
+            runtime,
+            service,
+            change,
+            strategy=STRATEGY_ROLLING,
+            batch_size=batch_size,
+            drain=drain,
+            retry_interval=retry_interval,
+        ).start()
+
+    return action
+
+
+def canary(
+    service: str,
+    change: InterfaceUpgrade,
+    fraction: float = 0.25,
+    promote_after: float = 0.5,
+    retry_interval: float = 0.05,
+) -> Action:
+    """Timeline action: upgrade a canary fraction first, promote later.
+
+    The first ``max(1, round(fraction * replicas))`` replicas (index order)
+    take the upgrade immediately; after ``promote_after`` virtual seconds
+    without an :func:`abort_rollout`, the remaining replicas follow.
+    """
+
+    def action(runtime: "ScenarioRuntime") -> None:
+        RolloutController(
+            runtime,
+            service,
+            change,
+            strategy=STRATEGY_CANARY,
+            fraction=fraction,
+            promote_after=promote_after,
+            retry_interval=retry_interval,
+        ).start()
+
+    return action
+
+
+def abort_rollout(service: str) -> Action:
+    """Timeline action: abort the service's active rollout (and roll back).
+
+    Pending waves are cancelled and every already-upgraded replica
+    republishes its pre-upgrade interface.  A no-op when no rollout is
+    active (e.g. it already completed).
+    """
+
+    def action(runtime: "ScenarioRuntime") -> None:
+        controller = runtime.registry.lookup(service).active_rollout
+        if controller is not None:
+            controller.abort()
+
+    return action

@@ -1,0 +1,266 @@
+"""The typed interface-diff engine: what changed, and does it break clients?
+
+The source paper is about *live* interface evolution — the SDE republishes
+WSDL/IDL while clients keep calling — but a publication is more than a
+version bump: it either *extends* the interface (old stubs keep working) or
+*breaks* it (old stubs reference operations that no longer exist, or whose
+signatures changed).  This module makes that distinction first-class:
+
+* :func:`diff_descriptions` compares two
+  :class:`~repro.interface.InterfaceDescription` snapshots and returns a
+  typed :class:`InterfaceDelta` — one :class:`OperationChange` per
+  operation added / removed / signature-changed, plus struct-type changes;
+* :func:`diff_documents` does the same over the *published documents*,
+  uniformly for both description formats: the WSDL path parses with
+  :func:`repro.soap.wsdl.parse_wsdl`, the CORBA path with
+  :func:`repro.corba.idl.parse_idl`, and a third technology can register
+  its own parser with :func:`register_description_parser`;
+* :func:`is_compatible` answers the routing-layer question — "do stubs
+  bound against ``bound`` still work against ``current``?" — used by the
+  version-aware replica selection in :mod:`repro.cluster.registry`.
+
+Classification rules (documented in ARCHITECTURE.md "Interface evolution"):
+an *added* operation or struct type is **compatible** (old stubs never call
+it); a *removed* or *signature-changed* operation, and a removed or changed
+struct type, are **breaking** (an old stub could marshal a call the new
+interface cannot honour).  A delta is breaking iff any of its changes is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.corba.idl import parse_idl
+from repro.errors import EvolveError
+from repro.interface import InterfaceDescription, OperationSignature
+from repro.soap.wsdl import parse_wsdl
+
+#: Change kinds carried by :class:`OperationChange` / :class:`StructChange`.
+CHANGE_ADDED = "added"
+CHANGE_REMOVED = "removed"
+CHANGE_SIGNATURE = "signature-changed"
+
+#: Delta classifications (see :attr:`InterfaceDelta.classification`).
+CLASS_IDENTICAL = "identical"
+CLASS_COMPATIBLE = "compatible"
+CLASS_BREAKING = "breaking"
+
+
+@dataclass(frozen=True)
+class OperationChange:
+    """One operation-level difference between two interface versions."""
+
+    kind: str
+    name: str
+    old: OperationSignature | None = None
+    new: OperationSignature | None = None
+
+    @property
+    def breaking(self) -> bool:
+        """True when old stubs referencing this operation stop working."""
+        return self.kind != CHANGE_ADDED
+
+    def describe(self) -> str:
+        """Human-readable one-liner, e.g. ``signature-changed: int f(int a)``."""
+        signature = self.new or self.old
+        rendered = signature.describe() if signature is not None else self.name
+        if self.kind == CHANGE_SIGNATURE and self.old is not None:
+            return f"{self.kind}: {self.old.describe()} -> {rendered}"
+        return f"{self.kind}: {rendered}"
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+@dataclass(frozen=True)
+class StructChange:
+    """One struct-type difference between two interface versions."""
+
+    kind: str
+    name: str
+
+    @property
+    def breaking(self) -> bool:
+        """Adding a struct type is compatible; removing or changing one is not."""
+        return self.kind != CHANGE_ADDED
+
+    def __str__(self) -> str:
+        return f"{self.kind}: struct {self.name}"
+
+
+@dataclass(frozen=True)
+class InterfaceDelta:
+    """The typed difference between two published interface versions."""
+
+    service: str
+    old_version: int
+    new_version: int
+    operations: tuple[OperationChange, ...] = ()
+    structs: tuple[StructChange, ...] = ()
+
+    # -- classification -----------------------------------------------------
+
+    @property
+    def empty(self) -> bool:
+        """True when the two versions expose an identical interface."""
+        return not (self.operations or self.structs)
+
+    @property
+    def breaking_changes(self) -> tuple["OperationChange | StructChange", ...]:
+        """Every change an already-bound client could trip over."""
+        return tuple(
+            change
+            for change in (*self.operations, *self.structs)
+            if change.breaking
+        )
+
+    @property
+    def compatible(self) -> bool:
+        """True when clients bound to the old version keep working."""
+        return not self.breaking_changes
+
+    @property
+    def classification(self) -> str:
+        """``identical`` / ``compatible`` / ``breaking``."""
+        if self.empty:
+            return CLASS_IDENTICAL
+        return CLASS_COMPATIBLE if self.compatible else CLASS_BREAKING
+
+    # -- convenience views --------------------------------------------------
+
+    @property
+    def added(self) -> tuple[str, ...]:
+        """Names of operations the new version added."""
+        return self._names(CHANGE_ADDED)
+
+    @property
+    def removed(self) -> tuple[str, ...]:
+        """Names of operations the new version removed."""
+        return self._names(CHANGE_REMOVED)
+
+    @property
+    def changed(self) -> tuple[str, ...]:
+        """Names of operations whose signature changed."""
+        return self._names(CHANGE_SIGNATURE)
+
+    def _names(self, kind: str) -> tuple[str, ...]:
+        return tuple(change.name for change in self.operations if change.kind == kind)
+
+    def describe(self) -> str:
+        """Multi-line summary: classification header plus one line per change."""
+        lines = [
+            f"{self.service}: v{self.old_version} -> v{self.new_version} "
+            f"({self.classification})"
+        ]
+        lines.extend(f"  {change}" for change in (*self.operations, *self.structs))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+def diff_descriptions(
+    old: InterfaceDescription, new: InterfaceDescription
+) -> InterfaceDelta:
+    """The typed delta going from ``old`` to ``new``."""
+    mine = {operation.name: operation for operation in old.operations}
+    theirs = {operation.name: operation for operation in new.operations}
+    changes: list[OperationChange] = []
+    for name in sorted(set(mine) | set(theirs)):
+        before, after = mine.get(name), theirs.get(name)
+        if before is None:
+            changes.append(OperationChange(CHANGE_ADDED, name, new=after))
+        elif after is None:
+            changes.append(OperationChange(CHANGE_REMOVED, name, old=before))
+        elif before != after:
+            changes.append(OperationChange(CHANGE_SIGNATURE, name, old=before, new=after))
+
+    old_structs = {struct.name: struct for struct in old.structs}
+    new_structs = {struct.name: struct for struct in new.structs}
+    struct_changes: list[StructChange] = []
+    for name in sorted(set(old_structs) | set(new_structs)):
+        before, after = old_structs.get(name), new_structs.get(name)
+        if before is None:
+            struct_changes.append(StructChange(CHANGE_ADDED, name))
+        elif after is None:
+            struct_changes.append(StructChange(CHANGE_REMOVED, name))
+        elif before != after:
+            struct_changes.append(StructChange(CHANGE_SIGNATURE, name))
+
+    return InterfaceDelta(
+        service=new.service_name or old.service_name,
+        old_version=old.version,
+        new_version=new.version,
+        operations=tuple(changes),
+        structs=tuple(struct_changes),
+    )
+
+
+def is_compatible(bound: InterfaceDescription, current: InterfaceDescription) -> bool:
+    """True when stubs bound against ``bound`` still work against ``current``.
+
+    Every operation and struct type the bound description exposes must still
+    exist, unchanged, in the current one; anything the current version adds
+    on top is invisible to old stubs and therefore harmless.  This is the
+    predicate the version-aware routing policies evaluate per replica.
+    """
+    for operation in bound.operations:
+        if current.operation(operation.name) != operation:
+            return False
+    current_structs = {struct.name: struct for struct in current.structs}
+    for struct in bound.structs:
+        if current_structs.get(struct.name) != struct:
+            return False
+    return True
+
+
+# -- uniform document-level diffs ---------------------------------------------------
+
+#: Description-document parser per technology name: ``document text -> description``.
+DescriptionParser = Callable[[str], InterfaceDescription]
+
+_PARSERS: dict[str, DescriptionParser] = {
+    "soap": parse_wsdl,
+    "corba": parse_idl,
+}
+
+
+def register_description_parser(
+    technology: str, parser: DescriptionParser, override: bool = False
+) -> None:
+    """Register a document parser for a (possibly third-party) technology."""
+    if technology in _PARSERS and not override:
+        raise EvolveError(f"description parser {technology!r} is already registered")
+    _PARSERS[technology] = parser
+
+
+def registered_description_parsers() -> tuple[str, ...]:
+    """Names of every technology with a registered description parser."""
+    return tuple(_PARSERS)
+
+
+def parse_description(document: str, technology: str) -> InterfaceDescription:
+    """Parse a published interface document of the named technology."""
+    parser = _PARSERS.get(technology)
+    if parser is None:
+        raise EvolveError(
+            f"no description parser for technology {technology!r}; "
+            f"registered: {sorted(_PARSERS)}"
+        )
+    return parser(document)
+
+
+def diff_documents(
+    old_document: str, new_document: str, technology: str
+) -> InterfaceDelta:
+    """Diff two *published documents* (WSDL, IDL, or a registered format).
+
+    This is the uniform entry point the rollout machinery uses to classify
+    each upgrade wave from what the replicas actually published, not from
+    what the upgrade plan intended.
+    """
+    return diff_descriptions(
+        parse_description(old_document, technology),
+        parse_description(new_document, technology),
+    )

@@ -14,6 +14,8 @@ from repro.cluster.registry import (
     make_policy,
 )
 from repro.errors import ClusterError, NoAliveReplicaError, ServiceNotFoundError
+from repro.evolve import ClientBinding
+from repro.interface import InterfaceDescription, OperationSignature
 
 
 class _FakeNode:
@@ -62,6 +64,35 @@ class TestPolicies:
         replicas[1].in_flight = 1
         assert policy.select(replicas, "x").index == 2
         replicas[2].in_flight = 1
+        assert policy.select(replicas, "x").index == 1
+
+    def test_least_loaded_tie_break_is_deterministic_under_equal_load(self):
+        """With every replica carrying equal load, lowest index always wins.
+
+        The tie-break is load-bearing for determinism: repeated selections
+        under unchanged equal load must neither rotate nor depend on list
+        mutation history.
+        """
+        policy = LeastLoadedPolicy()
+        replicas = _replicas(4)
+        # Equal zero load: repeated picks all land on index 0 (no rotation).
+        assert [policy.select(replicas, "x").index for _ in range(5)] == [0] * 5
+        # Equal non-zero load ties the same way.
+        for replica in replicas:
+            replica.in_flight = 3
+        assert [policy.select(replicas, "x").index for _ in range(5)] == [0] * 5
+        # The tie-break follows the immutable replica index, not the list
+        # position — a reordered list must not change the winner.
+        reordered = [replicas[2], replicas[3], replicas[0], replicas[1]]
+        assert policy.select(reordered, "x").index == 0
+        # Different client keys share the same deterministic answer (the
+        # policy is load-driven, not session-driven).
+        assert policy.select(replicas, "someone-else").index == 0
+
+    def test_least_loaded_equal_load_tie_break_skips_dead_lowest(self):
+        policy = LeastLoadedPolicy()
+        replicas = _node_replicas(3)  # all equally idle
+        replicas[0].node.is_alive = False
         assert policy.select(replicas, "x").index == 1
 
     def test_round_robin_skips_dead_replicas_and_resumes_on_restart(self):
@@ -195,3 +226,120 @@ class TestReplicaRemoval:
         registry.register(entry)
         registry.remove_replica("mail", 0)
         assert [replica.index for replica in entry.replicas] == [1, 2]
+
+
+class _FakePublisher:
+    """A stand-in publisher carrying just what version routing reads."""
+
+    def __init__(self, version: int, description: InterfaceDescription | None) -> None:
+        self.version = version
+        self.published_description = description
+
+
+class _FakeManaged:
+    def __init__(self, publisher: _FakePublisher) -> None:
+        self.publisher = publisher
+
+
+def _described(version: int, *names: str) -> InterfaceDescription:
+    return InterfaceDescription(
+        service_name="svc",
+        namespace="urn:test",
+        operations=tuple(OperationSignature(name) for name in sorted(names)),
+        version=version,
+    )
+
+
+def _versioned_replicas(specs) -> list[Replica]:
+    """Replicas from ``(version, operation names)`` pairs, all alive."""
+    return [
+        Replica(
+            service="svc",
+            index=index,
+            node=_FakeNode(f"node-{index}"),
+            managed=_FakeManaged(_FakePublisher(version, _described(version, *names))),
+        )
+        for index, (version, names) in enumerate(specs)
+    ]
+
+
+class TestVersionAwareSelection:
+    """The ServiceEntry selection cascade: compatible+fresh > fresh > all."""
+
+    def _entry(self, replicas: list[Replica]) -> ServiceEntry:
+        entry = ServiceEntry("svc", "soap", RoundRobinPolicy())
+        entry.replicas = replicas
+        entry.version_routing = True
+        return entry
+
+    def _binding(self, replicas: list[Replica]) -> ClientBinding:
+        binding = ClientBinding()
+        for replica in replicas:
+            binding.bind(replica.index, replica.publisher.published_description)
+        return binding
+
+    def test_without_binding_or_routing_flag_behaviour_is_unchanged(self):
+        replicas = _versioned_replicas([(2, ("echo",)), (2, ("echo",))])
+        entry = self._entry(replicas)
+        assert [entry.select("x").index for _ in range(4)] == [0, 1, 0, 1]
+        entry.version_routing = False
+        binding = self._binding(replicas)
+        assert [entry.select("x", binding).index for _ in range(4)] == [0, 1, 0, 1]
+
+    def test_breaking_replica_avoided_while_a_compatible_one_remains(self):
+        # Replica 0 moved to v3 and renamed the operation (breaking for a
+        # client bound at v2); replica 1 still publishes v2.
+        replicas = _versioned_replicas([(2, ("echo",)), (2, ("echo",))])
+        binding = self._binding(replicas)
+        replicas[0].managed.publisher = _FakePublisher(3, _described(3, "echo_v2"))
+        entry = self._entry(replicas)
+        picks = [entry.select("x", binding).index for _ in range(4)]
+        assert picks == [1, 1, 1, 1]
+
+    def test_compatible_upgrade_does_not_restrict_routing(self):
+        replicas = _versioned_replicas([(2, ("echo",)), (2, ("echo",))])
+        binding = self._binding(replicas)
+        replicas[0].managed.publisher = _FakePublisher(3, _described(3, "echo", "ping"))
+        entry = self._entry(replicas)
+        assert sorted({entry.select("x", binding).index for _ in range(4)}) == [0, 1]
+
+    def test_freshness_enforces_the_client_recency_watermark(self):
+        replicas = _versioned_replicas([(3, ("echo",)), (2, ("echo",))])
+        binding = self._binding(replicas)
+        binding.observe(3)  # the client already saw v3 somewhere
+        entry = self._entry(replicas)
+        # Replica 1 (still at v2) would violate §6 for this client: excluded.
+        assert [entry.select("x", binding).index for _ in range(3)] == [0, 0, 0]
+
+    def test_all_incompatible_falls_back_to_fresh_stale_fault_territory(self):
+        replicas = _versioned_replicas([(3, ("echo_v2",)), (3, ("echo_v2",))])
+        binding = ClientBinding()
+        for replica in replicas:
+            binding.bind(replica.index, _described(2, "echo"))  # stale stubs
+        entry = self._entry(replicas)
+        # No compatible replica remains: selection falls back to the fresh
+        # tier (the client will observe a stale fault there and rebind).
+        assert {entry.select("x", binding).index for _ in range(2)} == {0, 1}
+
+    def test_no_fresh_alive_replica_raises_instead_of_violating_recency(self):
+        # Replica 0 carries the only v3; it crashes while replica 1 still
+        # publishes v2.  A client that already observed v3 must not be
+        # served v2 — selection raises (retryable) instead.
+        replicas = _versioned_replicas([(3, ("echo",)), (2, ("echo",))])
+        binding = self._binding(replicas)
+        binding.observe(3)
+        replicas[0].node.is_alive = False
+        entry = self._entry(replicas)
+        with pytest.raises(NoAliveReplicaError):
+            entry.select("x", binding)
+        # The moment the fresh replica restarts, selection resumes there.
+        replicas[0].node.is_alive = True
+        assert entry.select("x", binding).index == 0
+
+    def test_dead_replicas_still_raise_when_nothing_is_alive(self):
+        replicas = _versioned_replicas([(2, ("echo",)), (2, ("echo",))])
+        for replica in replicas:
+            replica.node.is_alive = False
+        entry = self._entry(replicas)
+        with pytest.raises(NoAliveReplicaError):
+            entry.select("x", self._binding(replicas))
