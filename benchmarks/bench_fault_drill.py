@@ -24,43 +24,16 @@ import os
 
 import pytest
 
-from repro.cluster import Scenario, edit, op, publish
-from repro.core.sde import SDEConfig
-from repro.faults import RetryPolicy, crash, heal, partition, restart
-from repro.rmitypes import STRING
+from repro.cluster.presets import (
+    FAULT_DRILL_CLIENTS,
+    FAULT_DRILL_CLIENTS_QUICK,
+    fault_drill_scenario,
+)
 
 _QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
 
 #: The acceptance floor is 256 clients; quick CI grids run a quarter of it.
-CLIENTS = 64 if _QUICK else 256
-
-
-def fault_drill_scenario(clients: int = CLIENTS) -> Scenario:
-    """4 servers × mixed fleet, one crash + one partition mid-run."""
-    echo = op("echo", (("message", STRING),), STRING, body=lambda _self, m: m)
-    retry = RetryPolicy(max_attempts=4, timeout=0.08, backoff=0.005)
-    return (
-        Scenario(name="fault-drill", sde_config=SDEConfig(generation_cost=0.02))
-        .servers(4)
-        .service("EchoSoap", [echo], technology="soap", replicas=2)
-        .service("EchoCorba", [echo], technology="corba", replicas=2)
-        .clients(
-            clients,
-            protocol_mix={"soap": 0.5, "corba": 0.5},
-            calls=4,
-            operation="echo",
-            arguments=("hello fleet",),
-            think_time=0.02,
-            arrival=0.0005,
-            retry=retry,
-        )
-        .at(0.020, edit("EchoSoap", op("added_mid_run")))
-        .at(0.030, publish("EchoSoap"))      # generation completes ~0.05 ...
-        .at(0.040, crash("server-1"))        # ... crash lands mid-generation
-        .at(0.050, partition("server-3"))    # second fault class: isolation
-        .at(0.110, heal("server-3"))
-        .at(0.150, restart("server-1"))
-    )
+CLIENTS = FAULT_DRILL_CLIENTS_QUICK if _QUICK else FAULT_DRILL_CLIENTS
 
 
 @pytest.mark.benchmark(group="fault-drill")
@@ -68,7 +41,10 @@ def test_fault_drill_4x256_mixed(benchmark):
     """4 servers × 256 mixed clients through a crash + partition, deterministic."""
 
     def run_twice():
-        return fault_drill_scenario().run(), fault_drill_scenario().run()
+        return (
+            fault_drill_scenario(CLIENTS).run(),
+            fault_drill_scenario(CLIENTS).run(),
+        )
 
     first, second = benchmark.pedantic(run_twice, rounds=1, iterations=1)
 

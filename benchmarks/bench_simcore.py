@@ -28,6 +28,13 @@ import os
 
 import pytest
 
+from repro._backend import backend_name
+from repro.cluster.presets import (
+    FAULT_DRILL_CLIENTS,
+    FAULT_DRILL_CLIENTS_QUICK,
+    FAULT_DRILL_SERVERS,
+    fault_drill_scenario,
+)
 from repro.corba.cdr import marshal_values, unmarshal_values
 from repro.net.latency import loopback_profile
 from repro.net.simnet import Address, Network
@@ -126,6 +133,33 @@ def test_scheduler_cancellation_churn(benchmark):
     )
     assert survivors > 0
     _throughput(benchmark, "events_per_second", N_EVENTS)
+
+
+# -- headline aggregate ------------------------------------------------------
+
+
+@pytest.mark.benchmark(group="simcore-headline")
+def test_fleet_events_per_second(benchmark):
+    """The headline number: scheduler events per wall-clock second while
+    simulating the full 4×256 mixed SOAP/CORBA fault drill — every layer
+    (scheduler, simnet, transport, HTTP/GIOP, codecs, faults) in the loop,
+    not a microbenchmark.  Tracked per backend (pure vs compiled)."""
+    clients = FAULT_DRILL_CLIENTS_QUICK if _QUICK else FAULT_DRILL_CLIENTS
+
+    def run_drill():
+        return fault_drill_scenario(clients).run()
+
+    report = benchmark.pedantic(run_drill, rounds=_ROUNDS, iterations=1)
+
+    assert report.events_dispatched > 0
+    assert report.total_recency_violations == 0
+
+    _throughput(benchmark, "events_per_second", report.events_dispatched)
+    benchmark.extra_info["backend"] = backend_name()
+    benchmark.extra_info["clients"] = clients
+    benchmark.extra_info["servers"] = FAULT_DRILL_SERVERS
+    benchmark.extra_info["events_dispatched"] = report.events_dispatched
+    benchmark.extra_info["simulated_duration_s"] = round(report.duration, 5)
 
 
 # -- simulated network -------------------------------------------------------

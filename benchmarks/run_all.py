@@ -6,6 +6,8 @@ Usage::
     python benchmarks/run_all.py table1          # only files matching the substring
     python benchmarks/run_all.py table1 fault    # several filters: match ANY of them
     python benchmarks/run_all.py --quick         # small parameter grids (CI mode)
+    python benchmarks/run_all.py --strict        # exit nonzero on corroborated
+                                                 # wall-clock regressions (CI gate)
     python benchmarks/run_all.py --list          # print discovered files, run nothing
 
 Each invocation appends one record to ``BENCH_results.json`` at the repo
@@ -24,6 +26,17 @@ no deterministic metrics, the wall-clock-only warning is kept as before.
 Slowdowns with identical simulated work are not recorded as regressions,
 but they are still printed as informational notes so a pure code-level
 slowdown cannot pass silently.
+
+``--strict`` (used by the CI perf gate) promotes the corroborated warnings
+to failures: the run exits nonzero when a wall-clock regression is
+accompanied by deterministic simulated work that *changed* — grown work
+means the same scenario now dispatches more events, and shrunk work taking
+longer is the clearest possible code slowdown.  Both are machine-
+independent signals.  Wall-clock-only slowdowns — including those with
+*identical* deterministic work — stay warnings/notes even under
+``--strict``: a 2× wall-clock swing on identical work is routinely plain
+machine variance across CI runners, so failing on it would make the gate
+flaky.
 
 ``--quick`` exports ``REPRO_BENCH_QUICK=1``; parameter-heavy benchmarks read
 it at collection time and shrink their grids (fewer fleet sizes, fewer
@@ -213,6 +226,20 @@ def find_regressions(records: list[dict], trajectory: dict, quick: bool) -> list
     return regressions
 
 
+def strict_failures(candidates: list[dict]) -> list[dict]:
+    """The regression candidates that fail a ``--strict`` run.
+
+    Exactly the corroborated warnings: wall-clock regressions whose
+    deterministic simulated work *changed* (``deterministic_metrics`` —
+    grown work costs more events for the same scenario, shrunk work taking
+    longer is the clearest code slowdown).  Those signals are
+    machine-independent.  Identical-work slowdowns (``suppressed``) and
+    wall-clock-only candidates are excluded: wall clock alone swings 2×
+    between runners on unchanged code, so failing on it would flake CI.
+    """
+    return [c for c in candidates if c.get("deterministic_metrics")]
+
+
 def append_trajectory(
     records: list[dict],
     exit_code: int,
@@ -240,7 +267,8 @@ def main(argv: list[str]) -> int:
     args = argv[1:]
     quick = "--quick" in args
     list_only = "--list" in args
-    patterns = [arg for arg in args if arg not in ("--quick", "--list")]
+    strict = "--strict" in args
+    patterns = [arg for arg in args if arg not in ("--quick", "--list", "--strict")]
     files = discover(patterns or None)
     if not files:
         print(f"no benchmark files match {patterns!r}", file=sys.stderr)
@@ -304,6 +332,16 @@ def main(argv: list[str]) -> int:
             f"{note['previous_s']}s -> {note['current_s']}s ({note['factor']}x) with "
             "identical simulated work — machine noise or a code slowdown; not flagged"
         )
+    if strict:
+        corroborated = strict_failures(candidates)
+        if corroborated:
+            print(
+                f"STRICT: {len(corroborated)} corroborated wall-clock "
+                "regression(s) (deterministic workload changed) — failing "
+                "the run: " + ", ".join(c["name"] for c in corroborated)
+            )
+            if exit_code == 0:
+                exit_code = 3
     return exit_code
 
 

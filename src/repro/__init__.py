@@ -112,7 +112,7 @@ from repro.rmitypes import (
 )
 from repro.testbed import LiveDevelopmentTestbed, OperationSpec
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ReproError",

@@ -1,0 +1,104 @@
+"""Runtime selection of the simulation-core backend (pure vs compiled).
+
+The two hottest modules of the reproduction — the event scheduler and the
+simulated network — are published as thin re-export shims
+(:mod:`repro.sim.scheduler`, :mod:`repro.net.simnet`) over implementation
+modules (``repro.sim._scheduler_impl``, ``repro.net._simnet_impl``).  When a
+compiled build of those implementations exists under :mod:`repro._ccore`
+(produced by ``tools/build_compiled_core.py`` from the *same* sources), the
+shims transparently select it; otherwise the pure-Python implementations
+serve.  Everything above the shims is backend-agnostic, and the two backends
+are required to be byte-identical in behaviour (asserted by the
+compiled-vs-pure equivalence tests on the 4×256 fault-drill scenario).
+
+Selection rules (``REPRO_COMPILED`` environment variable, read once at first
+import):
+
+* unset or empty — *auto*: use the compiled core when both extension modules
+  are importable, the pure core otherwise;
+* ``0`` — force the pure-Python core (the escape hatch, always available);
+* ``1`` — require the compiled core; raise :class:`ImportError` with build
+  instructions when it is missing (CI uses this so a broken build cannot
+  silently fall back and still pass).
+
+Selection is all-or-nothing: the compiled scheduler is never mixed with the
+pure simnet or vice versa, so cross-module fast paths (pooled delivery
+events, generation snapshots) always see the classes they were compiled
+against.  A leftover ``.py`` source copy under ``repro._ccore`` is *not*
+accepted as a compiled module — only real extension modules are.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+import os
+
+_COMPILED_PACKAGE = "repro._ccore"
+
+#: Implementation stems -> their pure-Python module paths.
+_PURE_MODULES = {
+    "_scheduler_impl": "repro.sim._scheduler_impl",
+    "_simnet_impl": "repro.net._simnet_impl",
+}
+
+#: Tri-state cache: None = not decided yet, True = compiled, False = pure.
+_use_compiled: bool | None = None
+
+
+def _find_compiled(stem: str) -> bool:
+    """True when ``repro._ccore.<stem>`` exists as a real extension module."""
+    try:
+        spec = importlib.util.find_spec(f"{_COMPILED_PACKAGE}.{stem}")
+    except (ImportError, ValueError):
+        return False
+    if spec is None:
+        return False
+    origin = spec.origin or ""
+    # A stray source copy left behind by an interrupted build must not
+    # masquerade as the compiled core.
+    return not origin.endswith(".py")
+
+
+def compiled_available() -> bool:
+    """True when every implementation module has a compiled build."""
+    return all(_find_compiled(stem) for stem in _PURE_MODULES)
+
+
+def _decide() -> bool:
+    requested = os.environ.get("REPRO_COMPILED", "").strip()
+    if requested == "0":
+        return False
+    available = compiled_available()
+    if requested == "1" and not available:
+        raise ImportError(
+            "REPRO_COMPILED=1 requires the compiled simulation core, but "
+            f"{_COMPILED_PACKAGE} has no built extension modules. "
+            "Build it with: python tools/build_compiled_core.py"
+        )
+    return available
+
+
+def load_impl(stem: str):
+    """Import and return the selected implementation module for ``stem``."""
+    global _use_compiled
+    if stem not in _PURE_MODULES:
+        raise ImportError(f"unknown simulation-core implementation module {stem!r}")
+    if _use_compiled is None:
+        _use_compiled = _decide()
+    if _use_compiled:
+        return importlib.import_module(f"{_COMPILED_PACKAGE}.{stem}")
+    return importlib.import_module(_PURE_MODULES[stem])
+
+
+def compiled_active() -> bool:
+    """True when the compiled core is serving (selection happens on demand)."""
+    global _use_compiled
+    if _use_compiled is None:
+        _use_compiled = _decide()
+    return _use_compiled
+
+
+def backend_name() -> str:
+    """``"compiled"`` or ``"pure"`` — the backend the shims selected."""
+    return "compiled" if compiled_active() else "pure"

@@ -1,0 +1,10 @@
+"""Build-artifact package for the optional compiled simulation core.
+
+``tools/build_compiled_core.py`` compiles ``repro.sim._scheduler_impl`` and
+``repro.net._simnet_impl`` (the exact sources the pure-Python backend runs)
+into extension modules placed here as ``repro._ccore._scheduler_impl`` and
+``repro._ccore._simnet_impl``.  :mod:`repro._backend` selects them at import
+when present; nothing in this package is ever authored by hand, and source
+(``.py``) copies are deliberately not accepted as a backend (see
+``repro._backend._find_compiled``).
+"""

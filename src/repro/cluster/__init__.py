@@ -63,6 +63,7 @@ from repro.cluster.registry import (
     StickyPolicy,
     make_policy,
 )
+from repro.cluster.presets import fault_drill_scenario
 from repro.cluster.report import (
     ClientReport,
     ClusterReport,
@@ -104,6 +105,7 @@ from repro.faults import (
 __all__ = [
     "Scenario",
     "ScenarioRuntime",
+    "fault_drill_scenario",
     "OperationSpec",
     "op",
     "edit",

@@ -1,0 +1,53 @@
+"""Canonical fleet-shaped scenario presets.
+
+The 4-server × 256-client mixed SOAP/CORBA **fault drill** is the
+reproduction's acceptance workload: two replicated echo services, failover
+retry on every client, a mid-run edit + publish, one crash, one partition
+that later heals, and a restart.  It started life inside
+``benchmarks/bench_fault_drill.py``; it now lives here so the acceptance
+benchmark, the headline ``events_per_second`` benchmark, and the
+compiled-vs-pure backend equivalence test all drive the byte-identical
+scenario definition.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.scenario import Scenario, edit, op, publish
+from repro.core.sde import SDEConfig
+from repro.faults import RetryPolicy, crash, heal, partition, restart
+from repro.rmitypes import STRING
+
+#: The acceptance floor is 256 clients; quick CI grids run a quarter of it.
+FAULT_DRILL_CLIENTS = 256
+FAULT_DRILL_CLIENTS_QUICK = 64
+
+#: Server count of the drill (fixed by the scenario definition below).
+FAULT_DRILL_SERVERS = 4
+
+
+def fault_drill_scenario(clients: int = FAULT_DRILL_CLIENTS) -> Scenario:
+    """4 servers × mixed fleet, one crash + one partition mid-run."""
+    echo = op("echo", (("message", STRING),), STRING, body=lambda _self, m: m)
+    retry = RetryPolicy(max_attempts=4, timeout=0.08, backoff=0.005)
+    return (
+        Scenario(name="fault-drill", sde_config=SDEConfig(generation_cost=0.02))
+        .servers(FAULT_DRILL_SERVERS)
+        .service("EchoSoap", [echo], technology="soap", replicas=2)
+        .service("EchoCorba", [echo], technology="corba", replicas=2)
+        .clients(
+            clients,
+            protocol_mix={"soap": 0.5, "corba": 0.5},
+            calls=4,
+            operation="echo",
+            arguments=("hello fleet",),
+            think_time=0.02,
+            arrival=0.0005,
+            retry=retry,
+        )
+        .at(0.020, edit("EchoSoap", op("added_mid_run")))
+        .at(0.030, publish("EchoSoap"))      # generation completes ~0.05 ...
+        .at(0.040, crash("server-1"))        # ... crash lands mid-generation
+        .at(0.050, partition("server-3"))    # second fault class: isolation
+        .at(0.110, heal("server-3"))
+        .at(0.150, restart("server-1"))
+    )

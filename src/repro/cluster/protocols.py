@@ -137,11 +137,13 @@ class SoapProtocolClient(ProtocolClient):
         request = SoapRequest.for_call(
             operation, arguments, namespace=description.namespace, registry=registry
         )
+        body, body_wire = request.to_xml_and_wire()
         wire = self.http.request_async(
             "POST",
             description.endpoint_url,
-            body=request.to_xml(),
+            body=body,
             headers={"Content-Type": "text/xml; charset=utf-8"},
+            body_wire=body_wire,
         )
 
         def decode(response, error):

@@ -86,18 +86,18 @@ class SoapCallHandler(CallHandler):
             response = SoapResponse.for_result(
                 soap_request.operation, value, signature.return_type, namespace=namespace
             )
-            body = response.to_xml()
+            body, wire = response.to_xml_and_wire()
             deferred.complete(
-                HttpResponse.ok_xml(body),
+                HttpResponse.ok_xml(body, wire=wire),
                 self._processing_delay(len(request.body), len(body)),
             )
 
         def on_fault(error: BaseException) -> None:
             fault = self._fault_for(soap_request.operation, error)
             response = SoapResponse.for_fault(soap_request.operation, fault, namespace=namespace)
-            body = response.to_xml()
+            body, wire = response.to_xml_and_wire()
             deferred.complete(
-                HttpResponse.ok_xml(body),
+                HttpResponse.ok_xml(body, wire=wire),
                 self._processing_delay(len(request.body), len(body)),
             )
 
@@ -121,11 +121,11 @@ class SoapCallHandler(CallHandler):
 
     def _fault_response(self, operation: str, fault: SoapFault, request_size: int):
         response = SoapResponse.for_fault(operation, fault)
-        body = response.to_xml()
+        body, wire = response.to_xml_and_wire()
         delay = self._processing_delay(request_size, len(body))
         if delay > 0:
-            return HttpResponse.ok_xml(body), delay
-        return HttpResponse.ok_xml(body)
+            return HttpResponse.ok_xml(body, wire=wire), delay
+        return HttpResponse.ok_xml(body, wire=wire)
 
     # -- cost accounting ---------------------------------------------------------------
 

@@ -79,8 +79,8 @@ def measure_call(
     )
     return EncodingResult(
         label=label,
-        soap_request_bytes=len(soap_request.to_xml().encode("utf-8")),
-        soap_response_bytes=len(soap_response.to_xml().encode("utf-8")),
+        soap_request_bytes=len(soap_request.to_wire()),
+        soap_response_bytes=len(soap_response.to_wire()),
         giop_request_bytes=len(giop_request.to_bytes()),
         giop_reply_bytes=len(giop_reply.to_bytes()),
     )

@@ -48,9 +48,14 @@ class HttpClient:
         url: str,
         body: str,
         headers: dict[str, str] | None = None,
+        body_wire: bytes | None = None,
     ) -> HttpResponse:
-        """Issue a blocking POST request with ``body`` to ``url``."""
-        return self.request("POST", url, body=body, headers=headers)
+        """Issue a blocking POST request with ``body`` to ``url``.
+
+        ``body_wire``, when given, must be ``body.encode("utf-8")`` —
+        producers with pre-encoded bytes pass it to skip the boundary encode.
+        """
+        return self.request("POST", url, body=body, headers=headers, body_wire=body_wire)
 
     def request(
         self,
@@ -58,13 +63,14 @@ class HttpClient:
         url: str,
         body: str = "",
         headers: dict[str, str] | None = None,
+        body_wire: bytes | None = None,
     ) -> HttpResponse:
         """Issue a blocking HTTP request and return the response.
 
         ``url`` must be of the form ``http://<host>:<port>/<path>`` where
         ``<host>`` is a simulated host name.
         """
-        destination, payload = self._build(method, url, body, headers)
+        destination, payload = self._build(method, url, body, headers, body_wire)
         return self.channel.request(
             destination, payload, self._parse_response, description=f"{method} {url}"
         )
@@ -75,9 +81,10 @@ class HttpClient:
         url: str,
         body: str = "",
         headers: dict[str, str] | None = None,
+        body_wire: bytes | None = None,
     ) -> Deferred[HttpResponse]:
         """Issue a request without blocking; resolve with the response."""
-        destination, payload = self._build(method, url, body, headers)
+        destination, payload = self._build(method, url, body, headers, body_wire)
         return self.channel.request_async(
             destination, payload, self._parse_response, description=f"{method} {url}"
         )
@@ -88,6 +95,7 @@ class HttpClient:
         url: str,
         body: str,
         headers: dict[str, str] | None,
+        body_wire: bytes | None = None,
     ) -> tuple[Address, bytes]:
         destination, path = self.parse_url(url)
         request = HttpRequest(
@@ -95,6 +103,7 @@ class HttpClient:
             path=path,
             headers=dict(headers or {}),
             body=body,
+            body_wire=body_wire,
         )
         request.headers.setdefault("Host", f"{destination.host}:{destination.port}")
         return destination, request.to_bytes()

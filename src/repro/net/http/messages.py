@@ -58,6 +58,11 @@ class HttpRequest:
     headers: dict[str, str] = field(default_factory=dict)
     body: str = ""
     http_version: str = "HTTP/1.1"
+    #: Optional pre-encoded body (must equal ``body.encode("utf-8")``).
+    #: Producers that already rendered wire bytes (the SOAP zero-copy encode
+    #: path) supply it so ``to_bytes`` skips re-encoding the body; it never
+    #: participates in equality or parsing.
+    body_wire: bytes | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.method = self.method.upper()
@@ -73,7 +78,7 @@ class HttpRequest:
 
     def to_bytes(self) -> bytes:
         """Serialise to the textual HTTP/1.1 wire format."""
-        body_bytes = self.body.encode("utf-8")
+        body_bytes = self.body_wire if self.body_wire is not None else self.body.encode("utf-8")
         headers = dict(self.headers)
         headers.setdefault("Content-Length", str(len(body_bytes)))
         lines = [f"{self.method} {self.path} {self.http_version}"]
@@ -102,6 +107,8 @@ class HttpResponse:
     headers: dict[str, str] = field(default_factory=dict)
     body: str = ""
     http_version: str = "HTTP/1.1"
+    #: Optional pre-encoded body; same contract as ``HttpRequest.body_wire``.
+    body_wire: bytes | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.headers = _normalise_headers(self.headers)
@@ -117,7 +124,7 @@ class HttpResponse:
 
     def to_bytes(self) -> bytes:
         """Serialise to the textual HTTP/1.1 wire format."""
-        body_bytes = self.body.encode("utf-8")
+        body_bytes = self.body_wire if self.body_wire is not None else self.body.encode("utf-8")
         headers = dict(self.headers)
         headers.setdefault("Content-Length", str(len(body_bytes)))
         reason = StatusCodes.reason(self.status)
@@ -150,9 +157,18 @@ class HttpResponse:
         return cls(StatusCodes.OK, {"Content-Type": content_type}, body)
 
     @classmethod
-    def ok_xml(cls, body: str) -> "HttpResponse":
-        """A 200 response carrying an XML body."""
-        return cls(StatusCodes.OK, {"Content-Type": "text/xml; charset=utf-8"}, body)
+    def ok_xml(cls, body: str, wire: bytes | None = None) -> "HttpResponse":
+        """A 200 response carrying an XML body.
+
+        ``wire``, when given, must be ``body.encode("utf-8")`` — producers
+        with pre-encoded envelope bytes pass it to skip the boundary encode.
+        """
+        return cls(
+            StatusCodes.OK,
+            {"Content-Type": "text/xml; charset=utf-8"},
+            body,
+            body_wire=wire,
+        )
 
     @classmethod
     def not_found(cls, detail: str = "") -> "HttpResponse":

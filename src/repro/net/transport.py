@@ -65,7 +65,8 @@ def _send_in_order(
     arrival = scheduler.now + delay
     if arrival <= last_arrival:
         arrival = last_arrival + _STREAM_ORDER_EPSILON
-        scheduler.schedule(arrival - delay - scheduler.now, send_now, label=label)
+        # Pooled: held-back sends are fire-and-forget and never cancelled.
+        scheduler.schedule_pooled(arrival - delay - scheduler.now, send_now, label=label)
     else:
         send_now()
     return arrival
@@ -244,10 +245,14 @@ class Connection:
         while self._next_to_send in self._resolved:
             now = scheduler.now
             if now < self.ready_at:
-                scheduler.schedule(
+                scheduler.schedule_pooled(
                     self.ready_at - now,
                     self._flush,
-                    label=f"{self.endpoint.name} handshake gate for {self.peer}",
+                    label=(
+                        f"{self.endpoint.name} handshake gate for {self.peer}"
+                        if scheduler.tracing
+                        else "handshake gate"
+                    ),
                 )
                 return
             payload = self._resolved.pop(self._next_to_send)
@@ -439,7 +444,7 @@ class Endpoint:
             delay = self.cores.charge(delay)
         if delay > 0:
             scheduler = self.scheduler
-            scheduler.schedule(
+            scheduler.schedule_pooled(
                 delay,
                 connection.resolve,
                 seq,

@@ -1,0 +1,461 @@
+"""Event scheduler driving the whole simulated system.
+
+The scheduler owns the virtual :class:`~repro.sim.clock.Clock` and a priority
+queue of pending events.  Network message deliveries, publication timers,
+simulated processing delays and workload arrivals are all events; running the
+scheduler to quiescence therefore executes the distributed system
+deterministically in a single OS thread.
+
+Hot-path invariants (the fleet sweeps dispatch millions of events per run):
+
+* heap entries are plain ``(time, sequence, event)`` tuples — comparisons
+  stay in C, never in a ``__lt__`` written in Python;
+* :attr:`Scheduler.pending_count` is a live counter maintained by
+  ``schedule``/``cancel``/dispatch, never a queue scan;
+* cancelled events stay in the heap and are purged lazily — when they surface
+  at the top, in one O(n) sweep once they outnumber the live entries (checked
+  on every cancel *and* on every :attr:`Scheduler.pending_count` read, so an
+  idle cancel-heavy heap cannot hold dead entries indefinitely);
+* dispatch avoids the ``**kwargs`` unpacking path when a callback was
+  scheduled without keyword arguments (the overwhelmingly common case);
+* internal fire-and-forget events (network deliveries, in-order sends,
+  processing completions) are arena-allocated: :meth:`Scheduler.schedule_pooled`
+  recycles :class:`Event` objects through a free list, bumping a per-object
+  ``generation`` counter on reuse so holders that snapshot the generation can
+  still decide liveness correctly (see :meth:`Event.is_generation`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+from repro.errors import DeadlockError, SchedulerError
+from repro.sim.clock import Clock
+
+#: Queue size below which the lazy cancel purge is never triggered.
+_PURGE_MIN_QUEUE = 64
+
+#: Maximum number of recycled Event objects kept on the free list.  Sized for
+#: the deepest same-instant delivery cascades the fleet sweeps produce; beyond
+#: it, surplus events simply fall back to the garbage collector.
+_EVENT_POOL_LIMIT = 2048
+
+
+def _recycled() -> None:
+    """Sentinel callback installed on free-listed events.
+
+    Dispatching it means an event was recycled while still in the heap —
+    free-list corruption that must fail loudly, not silently misdispatch.
+    """
+    raise SchedulerError("recycled event dispatched: free-list corruption")
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are returned by :meth:`Scheduler.schedule` so callers can cancel
+    them (the §5.6 publication timer does this when it is *reset*).
+    """
+
+    __slots__ = (
+        "time",
+        "callback",
+        "args",
+        "kwargs",
+        "cancelled",
+        "dispatched",
+        "label",
+        "generation",
+        "recyclable",
+        "_scheduler",
+    )
+
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        args: tuple,
+        kwargs: dict | None,
+        label: str,
+        scheduler: "Scheduler | None" = None,
+    ) -> None:
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.kwargs = kwargs
+        self.cancelled = False
+        self.dispatched = False
+        self.label = label
+        #: Incarnation counter: bumped each time a pooled event is reused.
+        #: Holders that may outlive one incarnation snapshot it at schedule
+        #: time and decide liveness with :meth:`is_generation`.
+        self.generation = 0
+        #: True for events allocated through :meth:`Scheduler.schedule_pooled`;
+        #: such events return to the scheduler's free list after dispatch.
+        self.recyclable = False
+        self._scheduler = scheduler
+
+    def cancel(self) -> None:
+        """Prevent the event from running when its time arrives.
+
+        Cancelling an event that already ran (or was already cancelled) is a
+        no-op, so callers may cancel defensively without corrupting the
+        scheduler's pending accounting.
+        """
+        if self.cancelled or self.dispatched:
+            return
+        self.cancelled = True
+        scheduler = self._scheduler
+        if scheduler is not None:
+            scheduler._note_cancelled()
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is neither cancelled nor dispatched."""
+        return not self.cancelled and not self.dispatched
+
+    def is_generation(self, generation: int) -> bool:
+        """True while this object still holds the incarnation ``generation``.
+
+        Pooled events are reused after dispatch, so ``pending`` alone is not a
+        safe liveness check for a holder that may outlive one incarnation:
+        combine it with a generation snapshot taken at schedule time
+        (``event.pending and event.is_generation(snapshot)``).
+        """
+        return self.generation == generation
+
+    def __repr__(self) -> str:
+        # ``dispatched`` wins: an event that ran is "done" even if someone
+        # called cancel() on it afterwards.
+        state = "done" if self.dispatched else ("cancelled" if self.cancelled else "pending")
+        return f"Event({self.label!r} at {self.time:.6f}, {state})"
+
+
+class Scheduler:
+    """Priority-queue based discrete-event scheduler.
+
+    Determinism: events are dispatched in ``(time, insertion order)`` order,
+    so two events scheduled for the same instant run in the order they were
+    scheduled.
+    """
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self.clock = clock if clock is not None else Clock()
+        #: Heap of ``(time, sequence, event)`` tuples.
+        self._queue: list[tuple[float, int, Event]] = []
+        self._sequence = itertools.count()
+        self._dispatched_count = 0
+        self._pending = 0
+        self._cancelled_in_queue = 0
+        self._last_event: Event | None = None
+        self._trace: list[tuple[float, str]] | None = None
+        #: Free list of recycled pooled events (see :meth:`schedule_pooled`).
+        self._free: list[Event] = []
+
+    # -- inspection -------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self.clock.now
+
+    @property
+    def pending_count(self) -> int:
+        """Number of events still waiting to be dispatched (O(1) amortised).
+
+        Reading the counter also gives the lazy cancel purge a chance to run:
+        dispatches shrink the heap without touching cancelled entries, so an
+        idle cancel-heavy heap could otherwise hold its dead entries until the
+        *next* cancel arrives (possibly never).
+        """
+        if self._cancelled_in_queue:
+            self._maybe_purge()
+        return self._pending
+
+    @property
+    def dispatched_count(self) -> int:
+        """Number of events dispatched since the scheduler was created."""
+        return self._dispatched_count
+
+    @property
+    def last_event(self) -> Event | None:
+        """The most recently scheduled event (used by delivery batching)."""
+        return self._last_event
+
+    def enable_tracing(self) -> None:
+        """Record ``(time, label)`` for every dispatched event.
+
+        Tracing is used by the interleaving experiments (Figures 7 and 8) to
+        report the exact order in which publication and RMI events occurred.
+        """
+        self._trace = []
+
+    @property
+    def tracing(self) -> bool:
+        """True once :meth:`enable_tracing` was called.
+
+        Hot paths check this before building descriptive f-string labels so
+        untraced runs skip the string formatting entirely.
+        """
+        return self._trace is not None
+
+    @property
+    def trace(self) -> list[tuple[float, str]]:
+        """The recorded dispatch trace (empty unless tracing is enabled)."""
+        return list(self._trace or [])
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "event",
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule ``callback(*args, **kwargs)`` to run ``delay`` seconds
+        from now and return the corresponding :class:`Event`."""
+        if delay < 0:
+            raise SchedulerError(f"cannot schedule an event in the past (delay={delay})")
+        event = Event(
+            self.clock.now + delay, callback, args, kwargs or None, label, self
+        )
+        heapq.heappush(self._queue, (event.time, next(self._sequence), event))
+        self._pending += 1
+        self._last_event = event
+        return event
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "event",
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule ``callback`` to run at absolute virtual time ``time``."""
+        if time < self.clock.now:
+            raise SchedulerError(
+                f"cannot schedule an event at {time} before current time {self.now}"
+            )
+        event = Event(time, callback, args, kwargs or None, label, self)
+        heapq.heappush(self._queue, (time, next(self._sequence), event))
+        self._pending += 1
+        self._last_event = event
+        return event
+
+    def call_soon(
+        self, callback: Callable[..., None], *args: Any, label: str = "soon", **kwargs: Any
+    ) -> Event:
+        """Schedule ``callback`` to run at the current virtual time."""
+        return self.schedule(0.0, callback, *args, label=label, **kwargs)
+
+    def schedule_pooled(
+        self, delay: float, callback: Callable[..., None], *args: Any, label: str = "event"
+    ) -> Event:
+        """Schedule a fire-and-forget callback on an arena-allocated event.
+
+        The hot internal paths (network deliveries, in-order sends, processing
+        completions) schedule hundreds of thousands of events per fleet sweep
+        and never cancel them; allocating a fresh :class:`Event` for each is
+        the dominant allocation churn of :meth:`run_until_idle`.  This variant
+        reuses dispatched events through a free list instead.
+
+        Contract for callers: the returned event is only yours until it
+        dispatches.  Never call :meth:`Event.cancel` on it afterwards (it may
+        already be another incarnation), and guard any retained reference with
+        a ``generation`` snapshot (``event.pending and
+        event.is_generation(snapshot)``).  Keyword arguments are not
+        supported.  External code that wants a cancellable, indefinitely
+        holdable event must use :meth:`schedule`.
+        """
+        if delay < 0:
+            raise SchedulerError(f"cannot schedule an event in the past (delay={delay})")
+        time = self.clock.now + delay
+        free = self._free
+        if free:
+            event = free.pop()
+            event.generation += 1
+            event.time = time
+            event.callback = callback
+            event.args = args
+            event.cancelled = False
+            event.dispatched = False
+            event.label = label
+        else:
+            event = Event(time, callback, args, None, label, self)
+            event.recyclable = True
+        heapq.heappush(self._queue, (time, next(self._sequence), event))
+        self._pending += 1
+        self._last_event = event
+        return event
+
+    # -- execution --------------------------------------------------------
+
+    def step(self) -> bool:
+        """Dispatch the next pending event.
+
+        Returns ``True`` if an event was dispatched, ``False`` if the queue
+        was empty (cancelled events are discarded silently).
+        """
+        queue = self._queue
+        while queue:
+            _time, _seq, event = heapq.heappop(queue)
+            if event.cancelled:
+                self._cancelled_in_queue -= 1
+                continue
+            self.clock.advance_to(event.time)
+            event.dispatched = True
+            self._pending -= 1
+            self._dispatched_count += 1
+            if self._trace is not None:
+                self._trace.append((event.time, event.label))
+            kwargs = event.kwargs
+            if kwargs:
+                event.callback(*event.args, **kwargs)
+            else:
+                event.callback(*event.args)
+                if event.recyclable:
+                    # Return the event to the arena (only after a clean
+                    # dispatch: an event whose callback raised may be
+                    # inspected by error handlers, and a cancelled one may
+                    # still be cancelled again by its holder).
+                    free = self._free
+                    if len(free) < _EVENT_POOL_LIMIT:
+                        event.callback = _recycled
+                        event.args = ()
+                        free.append(event)
+            return True
+        return False
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> int:
+        """Dispatch events until none remain; return the number dispatched.
+
+        ``max_events`` guards against runaway event loops (a periodic timer
+        that never stops, for instance) turning a test into an infinite loop.
+        """
+        dispatched = 0
+        while self.step():
+            dispatched += 1
+            if dispatched >= max_events:
+                raise SchedulerError(
+                    f"run_until_idle dispatched {max_events} events without quiescing"
+                )
+        return dispatched
+
+    def run_for(self, duration: float, max_events: int = 1_000_000) -> int:
+        """Run events for ``duration`` seconds of virtual time.
+
+        The clock always ends exactly ``duration`` seconds later, even if the
+        queue drains early.
+        """
+        if duration < 0:
+            raise SchedulerError(f"duration must be non-negative, got {duration}")
+        deadline = self.now + duration
+        dispatched = self.run_until_time(deadline, max_events=max_events)
+        if self.now < deadline:
+            self.clock.advance_to(deadline)
+        return dispatched
+
+    def run_until_time(self, deadline: float, max_events: int = 1_000_000) -> int:
+        """Dispatch every event whose time is ``<= deadline``."""
+        dispatched = 0
+        while self._queue:
+            entry = self._queue[0]
+            if entry[2].cancelled:
+                heapq.heappop(self._queue)
+                self._cancelled_in_queue -= 1
+                continue
+            if entry[0] > deadline:
+                break
+            self.step()
+            dispatched += 1
+            if dispatched >= max_events:
+                raise SchedulerError(
+                    f"run_until_time dispatched {max_events} events without reaching the deadline"
+                )
+        if self.now < deadline and not self._has_pending_before(deadline):
+            self.clock.advance_to(deadline)
+        return dispatched
+
+    def run_until(
+        self,
+        condition: Callable[[], bool],
+        max_events: int = 1_000_000,
+        description: str = "condition",
+    ) -> int:
+        """Dispatch events until ``condition()`` becomes true.
+
+        This is the mechanism behind every *blocking* operation in the
+        system: a client issuing a synchronous RMI call posts the request and
+        then drives the scheduler until the reply has been delivered.
+
+        Raises
+        ------
+        DeadlockError
+            If the event queue drains while ``condition()`` is still false —
+            i.e. nothing in the simulated system can ever satisfy it.
+        """
+        dispatched = 0
+        while not condition():
+            if not self.step():
+                raise DeadlockError(
+                    f"no pending events but {description} is still unsatisfied "
+                    f"at t={self.now:.6f}"
+                )
+            dispatched += 1
+            if dispatched >= max_events:
+                raise SchedulerError(
+                    f"run_until dispatched {max_events} events waiting for {description}"
+                )
+        return dispatched
+
+    # -- internals --------------------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        """Account for an :meth:`Event.cancel`; purge once cancels dominate."""
+        self._pending -= 1
+        self._cancelled_in_queue += 1
+        self._maybe_purge()
+
+    def _maybe_purge(self) -> None:
+        """Sweep cancelled heap entries once they outnumber the live ones.
+
+        Called after every cancel and from :attr:`pending_count` reads —
+        dispatches shrink the heap too, so the threshold can be crossed
+        without any new cancel arriving.
+        """
+        if (
+            self._cancelled_in_queue > _PURGE_MIN_QUEUE
+            and self._cancelled_in_queue * 2 > len(self._queue)
+        ):
+            # In-place (slice) assignment: run loops hold references to the
+            # queue list across dispatches, and a cancel inside a callback
+            # must not strand them on a stale heap.
+            queue = self._queue
+            queue[:] = [entry for entry in queue if not entry[2].cancelled]
+            heapq.heapify(queue)
+            self._cancelled_in_queue = 0
+
+    def _has_pending_before(self, deadline: float) -> bool:
+        # Cancelled entries at the top were already popped by the callers'
+        # loops, so the heap minimum decides in O(1) (amortised: any
+        # cancelled entries surfacing here are discarded for good).
+        queue = self._queue
+        while queue:
+            entry = queue[0]
+            if entry[2].cancelled:
+                heapq.heappop(queue)
+                self._cancelled_in_queue -= 1
+                continue
+            return entry[0] <= deadline
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"Scheduler(now={self.now:.6f}, pending={self.pending_count}, "
+            f"dispatched={self._dispatched_count})"
+        )

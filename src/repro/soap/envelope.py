@@ -69,6 +69,23 @@ def _envelope_skeleton(namespace: str) -> tuple[str, str] | None:
     return head, "</soapenv:Body></soapenv:Envelope>"
 
 
+@lru_cache(maxsize=512)
+def _envelope_wire_segments(namespace: str) -> tuple[bytes, bytes] | None:
+    """UTF-8 encoded ``(head, tail)`` skeleton segments, or ``None`` when unsafe.
+
+    The wire fast path splices these cached byte segments around the encoded
+    per-call body, so the skeleton is never re-encoded per message.  UTF-8
+    concatenates cleanly (``(a + b).encode() == a.encode() + b.encode()``),
+    which is what keeps the splice byte-identical to encoding the full
+    document string.
+    """
+    skeleton = _envelope_skeleton(namespace)
+    if skeleton is None:
+        return None
+    head, tail = skeleton
+    return head.encode("utf-8"), tail.encode("utf-8")
+
+
 def _write_plain(element: XmlElement, parts: list[str]) -> bool:
     """Serialise a namespace-free subtree exactly as the generic serialiser
     would; returns False (parts must then be discarded) on any namespaced
@@ -163,20 +180,59 @@ class SoapRequest:
                 return fast
         return serialize(self.to_element())
 
-    def _to_xml_fast(self) -> str | None:
-        skeleton = _envelope_skeleton(self.namespace)
-        if skeleton is None or not _valid_local_name(self.operation):
+    def to_wire(self) -> bytes:
+        """Serialise straight to UTF-8 wire bytes.
+
+        Byte-identical to ``to_xml().encode("utf-8")``, but the fast path
+        splices the cached, pre-encoded skeleton segments instead of
+        re-encoding the whole document per message.
+        """
+        if _fast_serialization:
+            middle = self._fast_body()
+            if middle is not None:
+                head, tail = _envelope_wire_segments(self.namespace)
+                return b"".join((head, middle.encode("utf-8"), tail))
+        return self.to_xml().encode("utf-8")
+
+    def to_xml_and_wire(self) -> tuple[str, bytes]:
+        """``(to_xml(), to_wire())`` with the per-call body rendered once.
+
+        Producer boundaries (HTTP call sites) need both representations —
+        the text for character-count cost charging and the bytes for the
+        wire — so this avoids serialising twice.
+        """
+        if _fast_serialization:
+            middle = self._fast_body()
+            if middle is not None:
+                head, tail = _envelope_skeleton(self.namespace)
+                bhead, btail = _envelope_wire_segments(self.namespace)
+                return (
+                    "".join((head, middle, tail)),
+                    b"".join((bhead, middle.encode("utf-8"), btail)),
+                )
+        xml = self.to_xml()
+        return xml, xml.encode("utf-8")
+
+    def _fast_body(self) -> str | None:
+        """The Body's single child element as text, or ``None`` when unsafe."""
+        if _envelope_skeleton(self.namespace) is None or not _valid_local_name(self.operation):
             return None
         types = self.argument_types or tuple(infer_type(v) for v in self.arguments)
         body: list[str] = []
         for index, (value, rmi_type) in enumerate(zip(self.arguments, types)):
             if not _write_plain(encode_value(f"arg{index}", value, rmi_type), body):
                 return None
-        head, tail = skeleton
         operation = self.operation
         if not body:
-            return f"{head}<ns0:{operation}/>{tail}"
-        return "".join((head, f"<ns0:{operation}>", *body, f"</ns0:{operation}>", tail))
+            return f"<ns0:{operation}/>"
+        return "".join((f"<ns0:{operation}>", *body, f"</ns0:{operation}>"))
+
+    def _to_xml_fast(self) -> str | None:
+        middle = self._fast_body()
+        if middle is None:
+            return None
+        head, tail = _envelope_skeleton(self.namespace)
+        return "".join((head, middle, tail))
 
     @classmethod
     def from_xml(cls, text: str, registry: TypeRegistry | None = None) -> "SoapRequest":
@@ -255,20 +311,49 @@ class SoapResponse:
                 return fast
         return serialize(self.to_element())
 
-    def _to_xml_fast(self) -> str | None:
+    def to_wire(self) -> bytes:
+        """Serialise straight to UTF-8 wire bytes (see SoapRequest.to_wire)."""
+        if _fast_serialization:
+            middle = self._fast_body()
+            if middle is not None:
+                head, tail = _envelope_wire_segments(self.namespace)
+                return b"".join((head, middle.encode("utf-8"), tail))
+        return self.to_xml().encode("utf-8")
+
+    def to_xml_and_wire(self) -> tuple[str, bytes]:
+        """``(to_xml(), to_wire())`` with the per-call body rendered once."""
+        if _fast_serialization:
+            middle = self._fast_body()
+            if middle is not None:
+                head, tail = _envelope_skeleton(self.namespace)
+                bhead, btail = _envelope_wire_segments(self.namespace)
+                return (
+                    "".join((head, middle, tail)),
+                    b"".join((bhead, middle.encode("utf-8"), btail)),
+                )
+        xml = self.to_xml()
+        return xml, xml.encode("utf-8")
+
+    def _fast_body(self) -> str | None:
+        """The Body's single child element as text, or ``None`` when unsafe."""
         if self.fault is not None:
             # Fault envelopes carry soapenv-qualified children; the generic
             # serialiser handles their prefixes.
             return None
-        skeleton = _envelope_skeleton(self.namespace)
-        if skeleton is None or not _valid_local_name(self.operation):
+        if _envelope_skeleton(self.namespace) is None or not _valid_local_name(self.operation):
             return None
         body: list[str] = []
         if not _write_plain(encode_value("return", self.return_value, self.return_type), body):
             return None
-        head, tail = skeleton
         wrapper = f"ns0:{self.operation}Response"
-        return "".join((head, f"<{wrapper}>", *body, f"</{wrapper}>", tail))
+        return "".join((f"<{wrapper}>", *body, f"</{wrapper}>"))
+
+    def _to_xml_fast(self) -> str | None:
+        middle = self._fast_body()
+        if middle is None:
+            return None
+        head, tail = _envelope_skeleton(self.namespace)
+        return "".join((head, middle, tail))
 
     @classmethod
     def from_xml(cls, text: str, registry: TypeRegistry | None = None) -> "SoapResponse":

@@ -1,0 +1,142 @@
+"""Property tests: batched delivery and arena allocation are invisible.
+
+The fast paths this file pins down:
+
+* ``Host.send_many`` / ``Network.transmit_many`` — vectorised latency
+  sampling plus one delivery event per same-arrival run — must be
+  byte-identical to calling ``send`` once per payload in order: same
+  delivered payload bytes in the same order at the same virtual times, same
+  traffic stats, same number of scheduler dispatches;
+* message pooling (``Network(pool_messages=True)``) must change nothing an
+  observer who parses payloads inside the delivery callback can see;
+* the scalar fallback (partitioned / crashed endpoints) must count drops
+  exactly like sequential sends.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net.latency import LatencyModel
+from repro.net.simnet import Address, Network
+from repro.sim import Scheduler
+
+#: A burst schedule: at each time bucket, send this many payloads of these
+#: sizes (sizes repeat deterministically so equal-arrival runs happen often).
+_bursts = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=5),  # time bucket
+        st.lists(st.integers(min_value=0, max_value=300), min_size=1, max_size=12),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+_DEST = Address("receiver", 80)
+
+
+def _payloads(sizes: list[int]) -> list[bytes]:
+    # Distinct first byte per message so a reordering cannot cancel out.
+    return [bytes([index % 256]) + b"x" * size for index, size in enumerate(sizes)]
+
+
+def _build(pool_messages: bool) -> tuple[Scheduler, Network, list]:
+    scheduler = Scheduler()
+    # Finite bandwidth so different sizes produce different arrivals, while
+    # equal sizes coalesce into shared delivery batches.
+    network = Network(
+        scheduler,
+        LatencyModel(propagation=0.001, bandwidth_bytes_per_second=10_000.0),
+        pool_messages=pool_messages,
+    )
+    network.add_host("sender")
+    receiver = network.add_host("receiver")
+    trace: list[tuple[float, bytes]] = []
+    # Copy payload bytes at delivery time: with pooling on, the Message
+    # object is recycled right after this callback returns.
+    receiver.bind(80, lambda message, host: trace.append((host.network.scheduler.now, bytes(message.payload))))
+    return scheduler, network, trace
+
+
+def _run(bursts, batched: bool, pool_messages: bool):
+    scheduler, network, trace = _build(pool_messages)
+    sender = network.host("sender")
+
+    def send_burst(sizes: list[int]) -> None:
+        payloads = _payloads(sizes)
+        if batched:
+            sender.send_many(_DEST, payloads)
+        else:
+            for payload in payloads:
+                sender.send(_DEST, payload)
+
+    for bucket, sizes in bursts:
+        scheduler.schedule(bucket * 0.01, lambda s=sizes: send_burst(s))
+    scheduler.run_until_idle()
+    stats = network.stats
+    return trace, scheduler.dispatched_count, (
+        stats.messages_sent,
+        stats.bytes_sent,
+        stats.messages_received,
+        stats.bytes_received,
+        stats.messages_dropped,
+    )
+
+
+class TestBatchedDeliveryIdentity:
+    @given(bursts=_bursts)
+    @settings(max_examples=100, deadline=None)
+    def test_send_many_matches_sequential_sends(self, bursts):
+        """Payload bytes, delivery times/order, dispatch count and stats are
+        identical between ``send_many`` and a sequential ``send`` loop."""
+        reference = _run(bursts, batched=False, pool_messages=False)
+        batched = _run(bursts, batched=True, pool_messages=False)
+        assert batched == reference
+
+    @given(bursts=_bursts)
+    @settings(max_examples=100, deadline=None)
+    def test_message_pooling_is_invisible(self, bursts):
+        """Recycling Message objects changes nothing observable at delivery."""
+        plain = _run(bursts, batched=True, pool_messages=False)
+        pooled = _run(bursts, batched=True, pool_messages=True)
+        assert pooled == plain
+
+    @given(bursts=_bursts)
+    @settings(max_examples=60, deadline=None)
+    def test_pooling_and_batching_compose(self, bursts):
+        """The fully optimised path (batched + pooled) still matches the
+        naive per-message, no-pool reference."""
+        reference = _run(bursts, batched=False, pool_messages=False)
+        optimised = _run(bursts, batched=True, pool_messages=True)
+        assert optimised == reference
+
+
+class TestScalarFallback:
+    def _faulted(self, batched: bool, fault: str):
+        scheduler, network, trace = _build(pool_messages=False)
+        sender = network.host("sender")
+        if fault == "partition":
+            network.partition("sender", "receiver")
+        elif fault == "down":
+            network.host("receiver").down = True
+        payloads = _payloads([10, 10, 20])
+        if batched:
+            sender.send_many(_DEST, payloads)
+        else:
+            for payload in payloads:
+                sender.send(_DEST, payload)
+        scheduler.run_until_idle()
+        stats = network.stats
+        return trace, (
+            stats.messages_sent,
+            stats.messages_dropped,
+            stats.messages_received,
+        )
+
+    def test_partitioned_link_counts_drops_identically(self):
+        assert self._faulted(True, "partition") == self._faulted(False, "partition")
+        trace, (sent, dropped, received) = self._faulted(True, "partition")
+        assert (trace, sent, dropped, received) == ([], 3, 3, 0)
+
+    def test_down_destination_counts_drops_identically(self):
+        assert self._faulted(True, "down") == self._faulted(False, "down")

@@ -202,6 +202,49 @@ class TestEnvelopeFastPathProperties:
             set_fast_serialization(previous)
 
 
+class TestZeroCopyWireEncoding:
+    """``to_wire`` splices cached pre-encoded skeleton segments; it must be
+    byte-identical to ``to_xml().encode("utf-8")`` — including for non-ASCII
+    argument text, where the str/bytes length split matters — with the fast
+    path on or off."""
+
+    @given(operation=_operation, namespace=_namespace, arguments=st.lists(_value, max_size=4))
+    @settings(max_examples=150, deadline=None)
+    def test_request_wire_matches_encoded_xml(self, operation, namespace, arguments):
+        request = SoapRequest.for_call(operation, tuple(arguments), namespace=namespace)
+        expected = request.to_xml().encode("utf-8")
+        assert request.to_wire() == expected
+        xml, wire = request.to_xml_and_wire()
+        assert (xml, wire) == (request.to_xml(), expected)
+        previous = set_fast_serialization(False)
+        try:
+            assert request.to_wire() == expected
+            assert request.to_xml_and_wire() == (xml, expected)
+        finally:
+            set_fast_serialization(previous)
+
+    @given(operation=_operation, namespace=_namespace, value=_value)
+    @settings(max_examples=150, deadline=None)
+    def test_response_wire_matches_encoded_xml(self, operation, namespace, value):
+        response = SoapResponse.for_result(
+            operation, value, infer_type(value), namespace=namespace
+        )
+        expected = response.to_xml().encode("utf-8")
+        assert response.to_wire() == expected
+        assert response.to_xml_and_wire() == (response.to_xml(), expected)
+        previous = set_fast_serialization(False)
+        try:
+            assert response.to_wire() == expected
+        finally:
+            set_fast_serialization(previous)
+
+    def test_fault_response_wire_uses_slow_path(self):
+        from repro.soap.faults import SoapFault
+
+        response = SoapResponse.for_fault("op", SoapFault.non_existent_method("op"))
+        assert response.to_wire() == response.to_xml().encode("utf-8")
+
+
 # ---------------------------------------------------------------------------
 # CDR wire format stability
 # ---------------------------------------------------------------------------

@@ -1,0 +1,130 @@
+"""Backend selection (:mod:`repro._backend`) and compiled-vs-pure equivalence.
+
+The compiled core is an optional build artifact, so these tests must be
+meaningful in both worlds:
+
+* selection rules are exercised in subprocesses (``REPRO_COMPILED`` is read
+  once at first import, so the decision cannot be re-made in-process);
+* the equivalence test runs the full 4×256 fault-drill scenario under the
+  *selected* backend and under ``REPRO_COMPILED=0`` (forced pure) and
+  asserts byte-identical ClusterReport fingerprints.  With the compiled
+  core built (the CI compiled job) that is compiled-vs-pure; without it,
+  the same test still pins cross-process determinism of the drill.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro._backend import backend_name, compiled_available
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = str(REPO_ROOT / "src")
+
+
+def _run_python(code: str, compiled_env: str | None) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    if compiled_env is None:
+        env.pop("REPRO_COMPILED", None)
+    else:
+        env["REPRO_COMPILED"] = compiled_env
+    return subprocess.run(
+        [sys.executable, "-c", code],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+
+
+class TestBackendSelection:
+    def test_escape_hatch_forces_pure(self):
+        probe = _run_python(
+            "from repro._backend import backend_name; print(backend_name())", "0"
+        )
+        assert probe.returncode == 0
+        assert probe.stdout.strip() == "pure"
+
+    def test_auto_matches_availability(self):
+        expected = "compiled" if compiled_available() else "pure"
+        probe = _run_python(
+            "from repro._backend import backend_name; print(backend_name())", None
+        )
+        assert probe.returncode == 0
+        assert probe.stdout.strip() == expected
+
+    @pytest.mark.skipif(
+        compiled_available(), reason="compiled core is built; =1 would succeed"
+    )
+    def test_required_compiled_fails_loudly_when_missing(self):
+        probe = _run_python("import repro.sim.scheduler", "1")
+        assert probe.returncode != 0
+        assert "REPRO_COMPILED=1" in probe.stderr
+        assert "build_compiled_core" in probe.stderr
+
+    def test_shims_reexport_selected_impl(self):
+        import repro.net.simnet as simnet
+        import repro.sim.scheduler as scheduler
+
+        if backend_name() == "compiled":
+            assert scheduler.Scheduler.__module__.startswith("repro._ccore")
+            assert simnet.Network.__module__.startswith("repro._ccore")
+        else:
+            assert scheduler.Scheduler.__module__ == "repro.sim._scheduler_impl"
+            assert simnet.Network.__module__ == "repro.net._simnet_impl"
+        assert simnet.Message is not None and scheduler.Event is not None
+
+    def test_unknown_impl_stem_rejected(self):
+        from repro._backend import load_impl
+
+        with pytest.raises(ImportError):
+            load_impl("_nonexistent_impl")
+
+
+#: Runs the acceptance drill and prints a deterministic fingerprint of the
+#: ClusterReport.  ``repr`` keeps float fields byte-exact through JSON.
+_FINGERPRINT_SCRIPT = """
+import json, sys
+from repro._backend import backend_name
+from repro.cluster.presets import fault_drill_scenario
+
+report = fault_drill_scenario(256).run()
+fingerprint = {
+    "events_dispatched": report.events_dispatched,
+    "duration": repr(report.duration),
+    "all_rtts": repr(report.all_rtts),
+    "replica_sequences": [c.replica_sequence for c in report.clients],
+    "total_calls": report.total_calls,
+    "total_successes": report.total_successes,
+    "total_failed_attempts": report.total_failed_attempts,
+    "total_retried_calls": report.total_retried_calls,
+    "total_abandoned_calls": report.total_abandoned_calls,
+    "total_recency_violations": report.total_recency_violations,
+    "node_downtime": [(n.name, repr(n.downtime_s), n.outages) for n in report.nodes],
+}
+json.dump({"backend": backend_name(), "fingerprint": fingerprint}, sys.stdout)
+"""
+
+
+class TestCompiledVsPureEquivalence:
+    def test_fault_drill_reports_are_byte_identical(self):
+        """The 4×256 fault drill produces identical ClusterReports under the
+        selected backend and the forced-pure backend."""
+        selected = _run_python(_FINGERPRINT_SCRIPT, None)
+        assert selected.returncode == 0, selected.stderr
+        pure = _run_python(_FINGERPRINT_SCRIPT, "0")
+        assert pure.returncode == 0, pure.stderr
+
+        selected_payload = json.loads(selected.stdout)
+        pure_payload = json.loads(pure.stdout)
+        assert pure_payload["backend"] == "pure"
+        if compiled_available():
+            assert selected_payload["backend"] == "compiled"
+        assert selected_payload["fingerprint"] == pure_payload["fingerprint"]

@@ -1,0 +1,112 @@
+"""Units for the benchmark runner's regression detection and --strict gate.
+
+``benchmarks/run_all.py`` is a script, not a package module, so it is loaded
+from its file path.  These tests pin the classification logic the CI perf
+gate relies on:
+
+* wall-clock slowdowns corroborated by deterministic metrics (grown or
+  shrunk simulated work) are regressions and fail ``--strict`` runs;
+* identical simulated work marks the candidate ``suppressed`` — an
+  informational note only, even under ``--strict`` (wall clock alone
+  swings 2x between machines on unchanged code);
+* wall-clock-only slowdowns never fail strict runs either.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+RUN_ALL_PATH = Path(__file__).resolve().parents[2] / "benchmarks" / "run_all.py"
+
+_spec = importlib.util.spec_from_file_location("bench_run_all", RUN_ALL_PATH)
+run_all = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(run_all)
+
+
+def _bench(name: str, wall: float, **extra) -> dict:
+    return {"name": name, "group": None, "wall_clock_mean_s": wall, "extra_info": extra}
+
+
+def _trajectory(*benches: dict, quick: bool = False) -> dict:
+    return {"runs": [{"quick": quick, "benchmarks": list(benches)}]}
+
+
+class TestFindRegressions:
+    def test_no_previous_run_means_no_candidates(self):
+        records = [_bench("b", 10.0, events_dispatched=100)]
+        assert run_all.find_regressions(records, {"runs": []}, quick=False) == []
+
+    def test_small_slowdown_below_thresholds_ignored(self):
+        before = _trajectory(_bench("b", 1.0, events_dispatched=100))
+        records = [_bench("b", 1.04, events_dispatched=200)]
+        assert run_all.find_regressions(records, before, quick=False) == []
+
+    def test_grown_workload_corroborates(self):
+        before = _trajectory(_bench("b", 1.0, events_dispatched=100))
+        records = [_bench("b", 2.0, events_dispatched=200)]
+        [candidate] = run_all.find_regressions(records, before, quick=False)
+        assert candidate["deterministic_metrics"] == {
+            "events_dispatched": {"previous": 100.0, "current": 200.0}
+        }
+        assert "suppressed" not in candidate
+        assert "workload_shrank" not in candidate
+
+    def test_shrunk_workload_is_flagged_as_code_slowdown(self):
+        before = _trajectory(_bench("b", 1.0, events_dispatched=200))
+        records = [_bench("b", 2.0, events_dispatched=100)]
+        [candidate] = run_all.find_regressions(records, before, quick=False)
+        assert candidate["workload_shrank"] is True
+        assert "events_dispatched" in candidate["deterministic_metrics"]
+
+    def test_identical_workload_is_suppressed(self):
+        before = _trajectory(
+            _bench("b", 1.0, events_dispatched=100, simulated_duration_s=0.25)
+        )
+        records = [_bench("b", 2.0, events_dispatched=100, simulated_duration_s=0.25)]
+        [candidate] = run_all.find_regressions(records, before, quick=False)
+        assert candidate["suppressed"] is True
+        assert "deterministic_metrics" not in candidate
+
+    def test_no_deterministic_metrics_stays_wall_clock_only(self):
+        before = _trajectory(_bench("b", 1.0))
+        records = [_bench("b", 2.0)]
+        [candidate] = run_all.find_regressions(records, before, quick=False)
+        assert "suppressed" not in candidate
+        assert "deterministic_metrics" not in candidate
+
+    def test_quick_and_full_runs_are_not_comparable(self):
+        before = _trajectory(_bench("b", 1.0, events_dispatched=100), quick=True)
+        records = [_bench("b", 5.0, events_dispatched=500)]
+        assert run_all.find_regressions(records, before, quick=False) == []
+
+    def test_deterministic_prefix_keys_participate(self):
+        before = _trajectory(_bench("b", 1.0, deterministic_queue_depth=10))
+        records = [_bench("b", 2.0, deterministic_queue_depth=40)]
+        [candidate] = run_all.find_regressions(records, before, quick=False)
+        assert "deterministic_queue_depth" in candidate["deterministic_metrics"]
+
+
+class TestStrictFailures:
+    def test_only_workload_change_candidates_fail(self):
+        grown = {"name": "a", "deterministic_metrics": {"events_dispatched": {}}}
+        shrunk = {
+            "name": "b",
+            "deterministic_metrics": {"events_dispatched": {}},
+            "workload_shrank": True,
+        }
+        identical = {"name": "c", "suppressed": True}
+        wall_only = {"name": "d"}
+        failures = run_all.strict_failures([grown, shrunk, identical, wall_only])
+        assert [c["name"] for c in failures] == ["a", "b"]
+
+    def test_identical_work_slowdown_stays_a_note(self):
+        """Empirically, a 2x wall-clock swing with identical simulated work
+        happens on unchanged code across machines — strict must not flake."""
+        assert run_all.strict_failures([{"name": "c", "suppressed": True}]) == []
+
+    def test_wall_clock_only_never_fails_strict(self):
+        assert run_all.strict_failures([{"name": "c"}]) == []
+
+    def test_empty_candidates(self):
+        assert run_all.strict_failures([]) == []

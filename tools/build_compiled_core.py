@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Build the optional compiled simulation core (``repro._ccore``).
+
+Compiles the two hottest implementation modules — the event scheduler and
+the simulated network — into C extension modules with Cython, placed under
+``src/repro/_ccore/`` where :mod:`repro._backend` discovers them at import:
+
+* ``repro.sim._scheduler_impl``  -> ``repro._ccore._scheduler_impl``
+* ``repro.net._simnet_impl``     -> ``repro._ccore._simnet_impl``
+
+The compiled modules are built from the *exact same* ``.py`` sources the
+pure-Python backend runs (pure-Python-mode Cython, no ``.pyx`` dialect), so
+the two backends cannot drift: there is one implementation, compiled twice.
+Behavioural equivalence is additionally asserted by the compiled-vs-pure
+test on the 4x256 fault-drill scenario
+(``tests/test_compiled_backend.py``).
+
+Usage::
+
+    python tools/build_compiled_core.py            # build in place
+    python tools/build_compiled_core.py --check    # report backend status
+    python tools/build_compiled_core.py --clean    # remove built artifacts
+
+Cython and a C compiler are required to *build*; neither is required to
+*run* (the pure backend always works, and ``REPRO_COMPILED=0`` forces it).
+When Cython is missing this script exits with a clear message rather than a
+traceback, so it is safe to call unconditionally from CI setup steps that
+tolerate a missing toolchain.
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+CCORE = SRC / "repro" / "_ccore"
+
+#: (source module path, compiled stem) pairs; order is not significant.
+SOURCES = (
+    (SRC / "repro" / "sim" / "_scheduler_impl.py", "_scheduler_impl"),
+    (SRC / "repro" / "net" / "_simnet_impl.py", "_simnet_impl"),
+)
+
+
+def clean() -> None:
+    """Remove every build artifact from ``repro._ccore`` (keeps __init__.py)."""
+    removed = []
+    for path in sorted(CCORE.iterdir()):
+        if path.name in {"__init__.py"}:
+            continue
+        if path.is_dir():
+            shutil.rmtree(path)
+        else:
+            path.unlink()
+        removed.append(path.name)
+    for stray in sorted(REPO_ROOT.glob("build/")):
+        shutil.rmtree(stray)
+    if removed:
+        print(f"removed from {CCORE.relative_to(REPO_ROOT)}: {', '.join(removed)}")
+    else:
+        print("nothing to clean")
+
+
+def check() -> int:
+    """Report which backend the shims would select right now."""
+    sys.path.insert(0, str(SRC))
+    from repro._backend import backend_name, compiled_available
+
+    print(f"compiled core available: {compiled_available()}")
+    print(f"selected backend: {backend_name()}")
+    return 0
+
+
+def build() -> int:
+    try:
+        from Cython.Build import cythonize
+    except ImportError:
+        print(
+            "Cython is not installed; the compiled core is optional and the\n"
+            "pure-Python backend remains fully functional. To build the\n"
+            "compiled core: pip install cython, then re-run this script.",
+            file=sys.stderr,
+        )
+        return 1
+
+    from setuptools import Extension
+    from setuptools.dist import Distribution
+
+    CCORE.mkdir(parents=True, exist_ok=True)
+    staged: list[Path] = []
+    extensions = []
+    for source, stem in SOURCES:
+        # Stage a copy next to where the extension must land so cythonize
+        # derives the right fully-qualified module name.
+        staged_py = CCORE / f"{stem}.py"
+        shutil.copyfile(source, staged_py)
+        staged.append(staged_py)
+        extensions.append(
+            Extension(f"repro._ccore.{stem}", [str(staged_py.relative_to(REPO_ROOT))])
+        )
+
+    try:
+        ext_modules = cythonize(
+            extensions,
+            language_level="3",
+            compiler_directives={"binding": True},
+        )
+        dist = Distribution(
+            {
+                "ext_modules": ext_modules,
+                "package_dir": {"": "src"},
+                "packages": ["repro", "repro._ccore"],
+            }
+        )
+        cmd = dist.get_command_obj("build_ext")
+        cmd.inplace = True
+        dist.run_command("build_ext")
+    finally:
+        # The staged .py copies must never remain: repro._backend refuses
+        # .py origins as a compiled backend, and a stray copy would shadow
+        # the real sources in confusing ways.
+        for staged_py in staged:
+            staged_py.unlink(missing_ok=True)
+        for c_file in CCORE.glob("*.c"):
+            c_file.unlink()
+
+    built = sorted(p.name for p in CCORE.iterdir() if p.suffix in {".so", ".pyd"})
+    if len(built) < len(SOURCES):
+        print("build did not produce all extension modules", file=sys.stderr)
+        return 1
+    print(f"built: {', '.join(built)}")
+
+    # Smoke-check in a fresh interpreter so this process's imports don't mask
+    # a broken build.
+    probe = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            "from repro._backend import backend_name; print(backend_name())",
+        ],
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin", "REPRO_COMPILED": "1"},
+        capture_output=True,
+        text=True,
+    )
+    if probe.returncode != 0 or probe.stdout.strip() != "compiled":
+        print("compiled core failed its import smoke check:", file=sys.stderr)
+        print(probe.stderr, file=sys.stderr)
+        return 1
+    print("smoke check: compiled backend imports and is selected")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clean", action="store_true", help="remove built artifacts")
+    parser.add_argument("--check", action="store_true", help="report backend status")
+    args = parser.parse_args(argv)
+    if args.clean:
+        clean()
+        return 0
+    if args.check:
+        return check()
+    return build()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
