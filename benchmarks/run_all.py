@@ -9,6 +9,7 @@ Usage::
     python benchmarks/run_all.py --strict        # exit nonzero on corroborated
                                                  # wall-clock regressions (CI gate)
     python benchmarks/run_all.py --list          # print discovered files, run nothing
+    python benchmarks/run_all.py --compact       # prune the trajectory file and exit
 
 Each invocation appends one record to ``BENCH_results.json`` at the repo
 root, so successive PRs accumulate a performance trajectory: wall-clock
@@ -37,6 +38,13 @@ independent signals.  Wall-clock-only slowdowns — including those with
 ``--strict``: a 2× wall-clock swing on identical work is routinely plain
 machine variance across CI runners, so failing on it would make the gate
 flaky.
+
+``--compact`` prunes ``BENCH_results.json`` in place: each benchmark keeps
+only its most recent appearances (per quick/full mode), and runs left with
+no benchmarks are dropped.  The trajectory grows by one record per
+invocation forever otherwise; compaction keeps enough history for the
+regression gate (which only ever compares against the most recent
+comparable run) while bounding the file.
 
 ``--quick`` exports ``REPRO_BENCH_QUICK=1``; parameter-heavy benchmarks read
 it at collection time and shrink their grids (fewer fleet sizes, fewer
@@ -263,11 +271,52 @@ def append_trajectory(
     return run_record
 
 
+#: ``--compact`` keeps this many most-recent appearances of each benchmark
+#: (per quick/full mode) — comfortably more than the single previous run
+#: the regression gate compares against.
+COMPACT_KEEP = 8
+
+
+def compact_trajectory(trajectory: dict, keep: int = COMPACT_KEEP) -> dict:
+    """Prune the trajectory to each benchmark's last ``keep`` appearances.
+
+    Quick and full runs are counted separately (they are never comparable),
+    and a run record whose benchmarks are all pruned is dropped entirely.
+    Run-level metadata (timestamps, exit codes, recorded regressions) is
+    untouched for the runs that remain.
+    """
+    seen: dict[tuple[bool, str], int] = {}
+    kept_runs = []
+    for run in reversed(trajectory.get("runs", [])):
+        quick = bool(run.get("quick"))
+        benches = []
+        for bench in run.get("benchmarks", []):
+            key = (quick, bench["name"])
+            if seen.get(key, 0) < keep:
+                seen[key] = seen.get(key, 0) + 1
+                benches.append(bench)
+        if benches:
+            kept_runs.append({**run, "benchmarks": benches})
+    kept_runs.reverse()
+    return {**trajectory, "runs": kept_runs}
+
+
 def main(argv: list[str]) -> int:
     args = argv[1:]
     quick = "--quick" in args
     list_only = "--list" in args
     strict = "--strict" in args
+    if "--compact" in args:
+        trajectory = load_trajectory()
+        before = len(trajectory["runs"])
+        compacted = compact_trajectory(trajectory)
+        RESULTS_PATH.write_text(json.dumps(compacted, indent=2) + "\n")
+        print(
+            f"compacted {RESULTS_PATH.name}: {before} -> "
+            f"{len(compacted['runs'])} run(s), keeping the last "
+            f"{COMPACT_KEEP} appearance(s) of each benchmark"
+        )
+        return 0
     patterns = [arg for arg in args if arg not in ("--quick", "--list", "--strict")]
     files = discover(patterns or None)
     if not files:

@@ -69,6 +69,8 @@ or build it for interactive live development (the paper's §4 workflow):
 from repro.cluster import (
     ClientReport,
     ClusterReport,
+    CohortModel,
+    CohortReport,
     Scenario,
     ScenarioRuntime,
     ServiceReport,
@@ -112,7 +114,7 @@ from repro.rmitypes import (
 )
 from repro.testbed import LiveDevelopmentTestbed, OperationSpec
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ReproError",
@@ -134,6 +136,8 @@ __all__ = [
     "ClusterReport",
     "ClientReport",
     "ServiceReport",
+    "CohortModel",
+    "CohortReport",
     "op",
     "edit",
     "publish",

@@ -19,6 +19,11 @@ Layering (see ARCHITECTURE.md "Scenario API"):
   (SOAP, CORBA, and any registered third technology);
 * :mod:`repro.cluster.driver` — the deterministic callback-driven fleet
   driver;
+* :mod:`repro.cluster.cohort` — million-client scale: cohort/flow-level
+  aggregation of the modeled client mass (:class:`CohortModel` /
+  :class:`CohortFlow`) over the same policies and server cores;
+* :mod:`repro.cluster.histogram` — the streaming fixed-bin
+  :class:`LatencyHistogram` behind cohort RTT accounting;
 * :mod:`repro.cluster.report` — the unified result objects;
 * :mod:`repro.cluster.scenario` — the :class:`Scenario` builder plus the
   ``op`` / ``edit`` / ``publish`` / ``churn`` helpers.
@@ -41,7 +46,9 @@ single-service :mod:`repro.workload` driver are thin adapters over this
 package.
 """
 
+from repro.cluster.cohort import CohortFlow, CohortModel
 from repro.cluster.driver import ClientPlan, FleetDriver
+from repro.cluster.histogram import LatencyHistogram
 from repro.cluster.protocols import (
     CorbaProtocolClient,
     ProtocolClient,
@@ -67,6 +74,7 @@ from repro.cluster.presets import fault_drill_scenario
 from repro.cluster.report import (
     ClientReport,
     ClusterReport,
+    CohortReport,
     NodeReport,
     ReplicaReport,
     ServiceReport,
@@ -132,6 +140,10 @@ __all__ = [
     "ServiceReport",
     "ReplicaReport",
     "NodeReport",
+    "CohortReport",
+    "CohortModel",
+    "CohortFlow",
+    "LatencyHistogram",
     "ClusterWorld",
     "ServerNode",
     "ServiceRegistry",

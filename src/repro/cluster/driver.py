@@ -52,6 +52,7 @@ from repro.net.simnet import Host
 from repro.sim.scheduler import Scheduler
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.cohort import CohortFlow
     from repro.faults.injector import FaultInjector
 
 
@@ -527,6 +528,7 @@ class FleetDriver:
         description: str = "cluster fleet",
         until: float | None = None,  # run-relative horizon, like the offsets
         faults: "FaultInjector | None" = None,
+        cohorts: "Iterable[CohortFlow]" = (),
     ) -> None:
         self.scheduler = scheduler
         self.registry = registry
@@ -549,6 +551,10 @@ class FleetDriver:
         self._version_calls: dict[int, dict[int, int]] = {}
         self.clients = [_FleetClient(self, plan) for plan in self.plans]
         self._finished_clients = 0
+        #: Cohort flows: the modeled client mass riding the same registry
+        #: and server cores as the discrete fleet (see repro.cluster.cohort).
+        self.flows = list(cohorts)
+        self._finished_flows = 0
 
     def protocol_factory(self, name: str) -> ProtocolClientFactory:
         """Scenario-local client-stack factory, else the global registry."""
@@ -559,6 +565,11 @@ class FleetDriver:
         """Prepare the fleet, run it to completion, and report."""
         for client in self.clients:
             client.prepare()
+        for flow in self.flows:
+            # Flow preparation fetches documents and runs the calibration
+            # probe — real pre-window traffic, like the clients' fetches —
+            # so it must precede the snapshots below.
+            flow.prepare(self)
 
         snapshots = [
             _ReplicaSnapshot(replica)
@@ -587,6 +598,8 @@ class FleetDriver:
                     client.start,
                     label=f"{client.report.name} start",
                 )
+            for flow in self.flows:
+                self.scheduler.schedule(0.0, flow.start, label=f"{flow.name} start")
             deadline = started_at + self.until if self.until is not None else None
             if deadline is not None:
                 # A sentinel pins an event at the deadline, so the stop
@@ -594,11 +607,15 @@ class FleetDriver:
                 # sparse — without it, run_until would first dispatch
                 # whatever event lies beyond the horizon and overshoot.
                 self.scheduler.schedule(self.until, _noop, label="run deadline")
-            if self.clients:
+            if self.clients or self.flows:
                 self.scheduler.run_until(
-                    lambda: self._finished_clients == len(self.clients)
+                    lambda: (
+                        self._finished_clients == len(self.clients)
+                        and self._finished_flows == len(self.flows)
+                    )
                     or (deadline is not None and self.scheduler.now >= deadline),
                     description=self.description,
+                    max_events=1_000_000_000,
                 )
             if deadline is not None and self.scheduler.now < deadline:
                 self.scheduler.run_for(deadline - self.scheduler.now)
@@ -648,6 +665,7 @@ class FleetDriver:
             nodes=node_reports,
             rollouts=rollouts,
             events_dispatched=self.scheduler.dispatched_count - events_before,
+            cohorts=[flow.report for flow in self.flows],
         )
 
     def _guard(self, action: Callable[[], None]) -> Callable[[], None]:
@@ -663,11 +681,14 @@ class FleetDriver:
     def _client_finished(self) -> None:
         self._finished_clients += 1
 
-    def _note_version_call(self, replica: Replica) -> None:
-        """Count one completed call under the replica's current version."""
+    def _flow_finished(self, flow: object) -> None:
+        self._finished_flows += 1
+
+    def _note_version_call(self, replica: Replica, count: int = 1) -> None:
+        """Count ``count`` completed calls under the replica's current version."""
         per_version = self._version_calls.setdefault(id(replica), {})
         version = replica.publisher.version
-        per_version[version] = per_version.get(version, 0) + 1
+        per_version[version] = per_version.get(version, 0) + count
 
     def _note_success(self, replica: Replica) -> None:
         """Stamp recovery bookkeeping for a successful reply (fault drills)."""

@@ -48,12 +48,25 @@ serving from an alive-but-older replica would silently violate §6.
 Freshness is what preserves the §6 recency guarantee *across* a rollout's
 deliberately-divergent replica versions: once a client has observed v+1 it
 is never routed back to a replica still publishing v.
+
+Bulk selection for cohort flows
+-------------------------------
+
+The cohort-flow layer (:mod:`repro.cluster.cohort`) routes a whole tick's
+worth of modeled calls at once.  :meth:`ServiceEntry.select_many` mirrors
+:meth:`ServiceEntry.select` — same failover skipping, same version tiers —
+but returns ``[(replica, call_count), ...]`` computed in closed form, so a
+million modeled calls cost O(replicas), not O(calls).  Each built-in
+policy's bulk result equals what ``count`` repeated single selections
+would have produced (round-robin: exact cursor arithmetic; sticky:
+aggregate mass pinning; least-loaded: deterministic water-fill), which is
+what the cohort-vs-discrete Hypothesis property pins.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Hashable
+from typing import TYPE_CHECKING, Callable, Hashable
 
 from repro.errors import ClusterError, NoAliveReplicaError, ServiceNotFoundError
 from repro.evolve.graph import VersionGraph
@@ -128,6 +141,55 @@ class ReplicaPolicy:
         """Pick the replica that should serve ``client_key``'s next call."""
         raise NotImplementedError
 
+    def select_many(
+        self,
+        replicas: list[Replica],
+        client_key: Hashable,
+        count: int,
+        usable: "Callable[[Replica], bool] | None" = None,
+    ) -> list[tuple[Replica, int]]:
+        """Distribute ``count`` calls from one flow; ``[(replica, n), ...]``.
+
+        Built-in policies override this with closed-form O(replicas)
+        implementations equivalent to ``count`` repeated :meth:`select`
+        calls.  This default keeps third-party policies working by looping
+        ``select`` over the usable subset — O(count), correct but slow for
+        large flows (positional policies that override :meth:`select` only
+        see the filtered list here, matching the tiered-candidate narrowing
+        :class:`ServiceEntry` already performs).
+        """
+        if count <= 0:
+            return []
+        pool = replicas if usable is None else [r for r in replicas if usable(r)]
+        if not pool:
+            service = replicas[0].service if replicas else "?"
+            raise NoAliveReplicaError(f"every replica of {service!r} is down")
+        shares: dict[int, int] = {}
+        order: list[Replica] = []
+        for _ in range(count):
+            replica = self.select(pool, client_key)
+            key = id(replica)
+            if key in shares:
+                shares[key] += 1
+            else:
+                shares[key] = 1
+                order.append(replica)
+        return [(replica, shares[id(replica)]) for replica in order]
+
+
+def _usable_positions(
+    replicas: list[Replica], usable: "Callable[[Replica], bool] | None"
+) -> list[int]:
+    """Positions of the selectable replicas (alive, or the caller's test)."""
+    if usable is None:
+        return [i for i, replica in enumerate(replicas) if replica.alive]
+    return [i for i, replica in enumerate(replicas) if usable(replica)]
+
+
+def _raise_none_usable(replicas: list[Replica]) -> None:
+    service = replicas[0].service if replicas else "?"
+    raise NoAliveReplicaError(f"every replica of {service!r} is down")
+
 
 def _require_alive(replicas: list[Replica]) -> list[Replica]:
     """The alive subset of ``replicas``; raises when it is empty."""
@@ -160,6 +222,39 @@ class RoundRobinPolicy(ReplicaPolicy):
         service = replicas[0].service if replicas else "?"
         raise NoAliveReplicaError(f"every replica of {service!r} is down")
 
+    def select_many(
+        self,
+        replicas: list[Replica],
+        client_key: Hashable,
+        count: int,
+        usable: "Callable[[Replica], bool] | None" = None,
+    ) -> list[tuple[Replica, int]]:
+        """Closed-form rotation: exactly ``count`` repeated :meth:`select`\\ s.
+
+        The usable positions, taken cyclically from the cursor, each receive
+        ``count // usable`` calls plus one extra for the first
+        ``count % usable`` of them; the cursor ends just past the last
+        position selected (mod the replica count — the observable part of
+        the raw counter).
+        """
+        if count <= 0:
+            return []
+        total = len(replicas)
+        positions = _usable_positions(replicas, usable)
+        if not positions:
+            _raise_none_usable(replicas)
+        start = self._next % total
+        ordered = [p for p in positions if p >= start] + [p for p in positions if p < start]
+        base, extra = divmod(count, len(ordered))
+        picks = []
+        for rank, position in enumerate(ordered):
+            share = base + (1 if rank < extra else 0)
+            if share:
+                picks.append((replicas[position], share))
+        last = ordered[extra - 1] if extra else ordered[-1]
+        self._next = (last + 1) % total
+        return picks
+
 
 class StickyPolicy(ReplicaPolicy):
     """Pin each client to one replica; first contact assigns round-robin.
@@ -176,6 +271,9 @@ class StickyPolicy(ReplicaPolicy):
     def __init__(self) -> None:
         self._pins: dict[Hashable, int] = {}
         self._next = 0
+        #: Aggregate pins for cohort flows: flow key -> {replica index: the
+        #: share of the flow's modeled clients pinned there}.
+        self._mass: dict[Hashable, dict[int, int]] = {}
 
     def select(self, replicas: list[Replica], client_key: Hashable) -> Replica:
         pin = self._pins.get(client_key)
@@ -207,6 +305,83 @@ class StickyPolicy(ReplicaPolicy):
         alive = _require_alive(replicas)
         return min(alive, key=lambda r: (0 if r.index > pin else 1, r.index))
 
+    def select_many(
+        self,
+        replicas: list[Replica],
+        client_key: Hashable,
+        count: int,
+        usable: "Callable[[Replica], bool] | None" = None,
+    ) -> list[tuple[Replica, int]]:
+        """Aggregate sticky: pin the flow's *mass*, not individual clients.
+
+        First contact spreads the flow's modeled clients round-robin across
+        the usable replicas (exactly how ``count`` individual first contacts
+        would pin) and remembers the split by immutable replica index.
+        Later calls distribute proportionally to the remembered split —
+        largest-remainder rounding, ties to the lowest index — and the share
+        pinned to a replica that is now dead, removed or unreachable re-pins
+        to the next usable replica in cyclic index order, persistently, just
+        like an individual sticky session.
+        """
+        if count <= 0:
+            return []
+        positions = _usable_positions(replicas, usable)
+        if not positions:
+            _raise_none_usable(replicas)
+        by_index = {replicas[p].index: replicas[p] for p in positions}
+        weights = self._mass.get(client_key)
+        if weights is None:
+            # First contact: round-robin spread over usable positions from
+            # the shared first-contact cursor.
+            total = len(replicas)
+            start = self._next % total
+            ordered = [p for p in positions if p >= start] + [
+                p for p in positions if p < start
+            ]
+            base, extra = divmod(count, len(ordered))
+            weights = {}
+            for rank, position in enumerate(ordered):
+                share = base + (1 if rank < extra else 0)
+                if share:
+                    weights[replicas[position].index] = share
+            last = ordered[extra - 1] if extra else ordered[-1]
+            self._next = (last + 1) % total
+            self._mass[client_key] = weights
+            return [(by_index[index], share) for index, share in weights.items()]
+        # Re-pin the share of departed/unreachable replicas, persistently.
+        usable_indexes = sorted(by_index)
+        repinned: dict[int, int] = {}
+        for index in sorted(weights):
+            weight = weights[index]
+            if index in by_index:
+                target = index
+            else:
+                target = min(
+                    usable_indexes, key=lambda i: (0 if i > index else 1, i)
+                )
+            repinned[target] = repinned.get(target, 0) + weight
+        self._mass[client_key] = repinned
+        # Distribute ``count`` proportionally (largest remainder, ties to
+        # the lowest replica index).
+        total_weight = sum(repinned.values())
+        shares: dict[int, int] = {}
+        remainders: list[tuple[float, int]] = []
+        assigned = 0
+        for index in sorted(repinned):
+            exact = count * repinned[index] / total_weight
+            share = int(count * repinned[index] // total_weight)
+            shares[index] = share
+            assigned += share
+            remainders.append((exact - share, -index))
+        remainders.sort(reverse=True)
+        for _, neg_index in remainders[: count - assigned]:
+            shares[-neg_index] += 1
+        return [
+            (by_index[index], shares[index])
+            for index in sorted(shares)
+            if shares[index]
+        ]
+
 
 class LeastLoadedPolicy(ReplicaPolicy):
     """Pick the replica with the fewest in-flight calls (ties: lowest index).
@@ -220,6 +395,58 @@ class LeastLoadedPolicy(ReplicaPolicy):
     def select(self, replicas: list[Replica], client_key: Hashable) -> Replica:
         alive = _require_alive(replicas)
         return min(alive, key=lambda replica: (replica.in_flight, replica.index))
+
+    def select_many(
+        self,
+        replicas: list[Replica],
+        client_key: Hashable,
+        count: int,
+        usable: "Callable[[Replica], bool] | None" = None,
+    ) -> list[tuple[Replica, int]]:
+        """Deterministic water-fill over the in-flight gauges.
+
+        Equivalent to assigning each of the ``count`` calls greedily to the
+        currently least-loaded usable replica (ties to the lowest index) if
+        each assignment bumped that replica's notional load by one — the
+        classic water-fill, computed in closed form.  The real ``in_flight``
+        gauges are *not* mutated: flow calls settle within their tick, so
+        the modeled load does not linger into the next selection.
+        """
+        if count <= 0:
+            return []
+        positions = _usable_positions(replicas, usable)
+        if not positions:
+            _raise_none_usable(replicas)
+        order = sorted(
+            (replicas[p] for p in positions),
+            key=lambda replica: (replica.in_flight, replica.index),
+        )
+        loads = [replica.in_flight for replica in order]
+        # Smallest pool of lowest-loaded replicas whose common water line
+        # stays at or below the next replica's load.
+        prefix = 0
+        used = len(order)
+        for m in range(1, len(order)):
+            prefix += loads[m - 1]
+            if count + prefix <= m * loads[m]:
+                used = m
+                break
+        level, spill = divmod(count + sum(loads[:used]), used)
+        # Pool minimality guarantees every pooled load sits at or below the
+        # line, so shares are non-negative and the ``spill`` replicas ending
+        # one above it are simply the lowest indexes (the greedy tie-break).
+        shares = {
+            replica.index: level - loads[rank]
+            for rank, replica in enumerate(order[:used])
+        }
+        for index in sorted(shares)[:spill]:
+            shares[index] += 1
+        by_index = {replica.index: replica for replica in order[:used]}
+        return [
+            (by_index[index], shares[index])
+            for index in sorted(shares)
+            if shares[index]
+        ]
 
 
 _POLICY_FACTORIES = {
@@ -356,6 +583,57 @@ class ServiceEntry:
                 )
         return self.policy.select(candidates, client_key)
 
+    def select_many(
+        self,
+        client_key: Hashable,
+        count: int,
+        binding: "ClientBinding | None" = None,
+        reachable: "Callable[[Replica], bool] | None" = None,
+    ) -> list[tuple[Replica, int]]:
+        """Bulk variant of :meth:`select` for cohort flows.
+
+        Distributes ``count`` calls in one policy decision and returns
+        ``[(replica, calls), ...]``.  ``reachable`` lets the caller exclude
+        replicas it cannot currently reach (a partitioned cohort host skips
+        them exactly as a discrete client's timeout-and-retry would settle
+        on reachable ones, minus the wasted attempts).  Version tiers,
+        freshness and the §6 refusal behave exactly as in :meth:`select`.
+        """
+        if count <= 0:
+            return []
+        if not self.replicas:
+            raise ClusterError(f"service {self.name!r} has no replicas")
+        if reachable is None:
+            usable = None
+        else:
+            test = reachable
+            usable = lambda replica: replica.alive and test(replica)  # noqa: E731
+        if self.version_routing and binding is not None:
+            fresh = [
+                replica
+                for replica in self.replicas
+                if replica.alive
+                and (reachable is None or reachable(replica))
+                and binding.fresh(replica)
+            ]
+            compatible = [
+                replica for replica in fresh if binding.compatible_with(replica)
+            ]
+            if compatible:
+                candidates = compatible
+            elif fresh:
+                candidates = fresh
+            else:
+                raise NoAliveReplicaError(
+                    f"every replica of {self.name!r} is down or publishes an "
+                    f"interface older than the client already observed "
+                    f"(watermark v{binding.seen_version})"
+                )
+            # The tier lists are pre-filtered, so the policy's default
+            # alive-check suffices below.
+            return self.policy.select_many(candidates, client_key, count)
+        return self.policy.select_many(self.replicas, client_key, count, usable)
+
     def __repr__(self) -> str:
         return (
             f"ServiceEntry({self.name!r}, {self.technology}, "
@@ -403,6 +681,20 @@ class ServiceRegistry:
         replica = self.lookup(name).select(client_key, binding)
         replica.calls_routed += 1
         return replica
+
+    def select_many(
+        self,
+        name: str,
+        client_key: Hashable,
+        count: int,
+        binding: "ClientBinding | None" = None,
+        reachable: "Callable[[Replica], bool] | None" = None,
+    ) -> list[tuple[Replica, int]]:
+        """Bulk-pick (and account) replicas for ``count`` calls of one flow."""
+        picks = self.lookup(name).select_many(client_key, count, binding, reachable)
+        for replica, share in picks:
+            replica.calls_routed += share
+        return picks
 
     def remove_replica(self, name: str, replica: "Replica | int") -> Replica:
         """Detach one replica of the named service (replica churn)."""

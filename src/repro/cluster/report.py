@@ -18,6 +18,15 @@ lifetime statistics before the measured window and reports deltas, so
 repeated runs against one world do not bleed into each other.  The legacy
 :class:`repro.workload.WorkloadReport` is a single-service projection of
 this report.
+
+Cohort scenarios (``clients(1_000_000, cohort=...)``) additionally carry
+one :class:`CohortReport` per flow: aggregate counters plus a streaming
+:class:`~repro.cluster.histogram.LatencyHistogram` instead of per-call
+floats, so a million modeled clients cost kilobytes of report, not
+gigabytes.  Discrete RTT percentiles stay exact (per-sample, linear
+interpolation) below :data:`EXACT_PERCENTILE_SAMPLE_LIMIT` samples —
+keeping every pre-existing scenario byte-identical — and switch to the
+histogram above it.
 """
 
 from __future__ import annotations
@@ -26,11 +35,18 @@ import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
+from repro.cluster.histogram import LatencyHistogram
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.evolve.rollout import RolloutReport
 
 #: The percentile levels every per-service / fleet-wide summary reports.
 PERCENTILE_LEVELS = (50.0, 95.0, 99.0)
+
+#: Sample-count ceiling for the exact per-sample percentile path; larger
+#: samples answer from a fixed-bin histogram (still deterministic, exact to
+#: within half a bin width).  Every pre-cohort scenario sits far below this.
+EXACT_PERCENTILE_SAMPLE_LIMIT = 65536
 
 
 def percentile(values: Sequence[float], level: float) -> float:
@@ -126,6 +142,85 @@ class ClientReport:
     def max_rtt(self) -> float:
         """Worst round-trip time this client saw."""
         return max(self.rtts) if self.rtts else 0.0
+
+
+@dataclass
+class CohortReport:
+    """Aggregate accounting for one cohort flow (the modeled client mass).
+
+    Mirrors :class:`ClientReport`'s outcome taxonomy at flow granularity:
+    the counters are *client-call* counts (a flow call models one client's
+    call), RTTs live in a streaming histogram plus exact sum/max, and
+    routing is recorded per replica index.  Everything here is
+    byte-deterministic — two runs of the same scenario produce identical
+    :meth:`fingerprint` values.
+    """
+
+    name: str
+    protocol: str
+    service: str
+    #: Clients modeled analytically by this flow (excludes representatives).
+    modeled_clients: int
+    #: Calls each modeled client issues over the run.
+    calls_per_client: int = 0
+    #: Modeled calls that completed successfully.
+    successes: int = 0
+    #: Modeled §5.7 stale faults (breaking upgrade reached the flow).
+    stale_faults: int = 0
+    failed_attempts: int = 0
+    retried_calls: int = 0
+    abandoned_calls: int = 0
+    #: §6 recency violations at flow granularity (see :class:`ClientReport`).
+    recency_violations: int = 0
+    rebinds: int = 0
+    #: Flow ticks executed (arrival batches injected).
+    ticks: int = 0
+    #: Modeled calls routed per replica index.
+    replica_calls: dict[int, int] = field(default_factory=dict)
+    #: Streaming RTT accounting for the modeled calls.
+    rtt: LatencyHistogram = field(default_factory=LatencyHistogram)
+    rtt_sum: float = 0.0
+    rtt_max: float = 0.0
+    #: Per-call baseline measured by the calibration probe (uncontended
+    #: RTT and server CPU cost of one real call through the full stack).
+    calibrated_rtt_s: float = 0.0
+    calibrated_cpu_cost_s: float = 0.0
+
+    @property
+    def calls(self) -> int:
+        """Modeled calls that completed (successes plus stale faults)."""
+        return self.successes + self.stale_faults
+
+    @property
+    def mean_rtt(self) -> float:
+        """Mean modeled round-trip time."""
+        return self.rtt_sum / self.rtt.count if self.rtt.count else 0.0
+
+    def rtt_percentiles(self) -> dict[str, float]:
+        """p50/p95/p99 of the modeled calls (histogram resolution)."""
+        return self.rtt.percentiles()
+
+    def fingerprint(self) -> tuple:
+        """Hashable snapshot of every counter, for determinism asserts."""
+        return (
+            self.name,
+            self.protocol,
+            self.service,
+            self.modeled_clients,
+            self.calls_per_client,
+            self.successes,
+            self.stale_faults,
+            self.failed_attempts,
+            self.retried_calls,
+            self.abandoned_calls,
+            self.recency_violations,
+            self.rebinds,
+            self.ticks,
+            tuple(sorted(self.replica_calls.items())),
+            self.rtt.fingerprint(),
+            self.rtt_sum,
+            self.rtt_max,
+        )
 
 
 @dataclass
@@ -261,6 +356,11 @@ class ClusterReport:
     #: Scheduler events dispatched inside the measured window — a fully
     #: deterministic proxy for how much simulated work the run performed.
     events_dispatched: int = 0
+    #: One :class:`CohortReport` per cohort flow (empty for discrete-only
+    #: scenarios).  Discrete aggregates (``total_calls``, ``all_rtts``, ...)
+    #: deliberately exclude these; the ``total_modeled_*`` /
+    #: ``simulated_clients`` aggregates fold them in.
+    cohorts: list[CohortReport] = field(default_factory=list)
 
     # -- lookups ------------------------------------------------------------
 
@@ -338,8 +438,20 @@ class ClusterReport:
 
     @property
     def rtt_percentiles(self) -> dict[str, float]:
-        """Fleet-wide p50/p95/p99 round-trip times."""
-        return rtt_percentiles(self.all_rtts)
+        """Fleet-wide p50/p95/p99 round-trip times (discrete clients).
+
+        Exact (per-sample, linear interpolation) up to
+        :data:`EXACT_PERCENTILE_SAMPLE_LIMIT` samples — which covers every
+        discrete-only scenario byte-identically — then histogram-backed
+        (deterministic, half-bin-width resolution) beyond it.
+        """
+        rtts = self.all_rtts
+        if len(rtts) <= EXACT_PERCENTILE_SAMPLE_LIMIT:
+            return rtt_percentiles(rtts)
+        histogram = LatencyHistogram()
+        for rtt in rtts:
+            histogram.add(rtt)
+        return histogram.percentiles()
 
     @property
     def throughput(self) -> float:
@@ -350,33 +462,104 @@ class ClusterReport:
 
     @property
     def total_failed_attempts(self) -> int:
-        """Transport-level attempt failures (aborts, timeouts) fleet-wide."""
-        return sum(client.failed_attempts for client in self.clients)
+        """Transport-level attempt failures (aborts, timeouts) fleet-wide.
+
+        Includes cohort flows: a flow tick that found no routable replica
+        counts one failed attempt per modeled call, like a discrete
+        client's timed-out attempt.
+        """
+        return sum(client.failed_attempts for client in self.clients) + sum(
+            cohort.failed_attempts for cohort in self.cohorts
+        )
 
     @property
     def total_retried_calls(self) -> int:
-        """Failover retries issued across the whole fleet."""
-        return sum(client.retried_calls for client in self.clients)
+        """Failover retries issued across the whole fleet (cohorts included)."""
+        return sum(client.retried_calls for client in self.clients) + sum(
+            cohort.retried_calls for cohort in self.cohorts
+        )
 
     @property
     def total_abandoned_calls(self) -> int:
-        """Calls abandoned after exhausting their retry budget, fleet-wide."""
-        return sum(client.abandoned_calls for client in self.clients)
+        """Calls abandoned after exhausting their retry budget, fleet-wide
+        (cohorts included)."""
+        return sum(client.abandoned_calls for client in self.clients) + sum(
+            cohort.abandoned_calls for cohort in self.cohorts
+        )
 
     @property
     def total_recency_violations(self) -> int:
-        """§6 recency violations fleet-wide (the protocol keeps this at 0)."""
-        return sum(client.recency_violations for client in self.clients)
+        """§6 recency violations fleet-wide (the protocol keeps this at 0).
+
+        Covers discrete clients *and* cohort flows: the million-client
+        acceptance drill asserts this exact counter stays 0.
+        """
+        return sum(client.recency_violations for client in self.clients) + sum(
+            cohort.recency_violations for cohort in self.cohorts
+        )
 
     @property
     def total_rebinds(self) -> int:
-        """Stub rebinds after stale faults fleet-wide (breaking upgrades)."""
-        return sum(client.rebinds for client in self.clients)
+        """Stub rebinds after stale faults fleet-wide (cohorts included)."""
+        return sum(client.rebinds for client in self.clients) + sum(
+            cohort.rebinds for cohort in self.cohorts
+        )
 
     @property
     def total_downtime_s(self) -> float:
         """Crashed machine-seconds within the window, over all nodes."""
         return sum(node.downtime_s for node in self.nodes)
+
+    # -- cohort aggregates (flow-modeled client mass) ------------------------
+
+    @property
+    def modeled_clients(self) -> int:
+        """Clients modeled analytically by cohort flows (0 when discrete-only)."""
+        return sum(cohort.modeled_clients for cohort in self.cohorts)
+
+    @property
+    def simulated_clients(self) -> int:
+        """Total clients this run stands for: discrete plus flow-modeled."""
+        return len(self.clients) + self.modeled_clients
+
+    @property
+    def total_modeled_calls(self) -> int:
+        """Modeled calls completed across every cohort flow."""
+        return sum(cohort.calls for cohort in self.cohorts)
+
+    @property
+    def total_modeled_successes(self) -> int:
+        """Modeled calls that succeeded across every cohort flow."""
+        return sum(cohort.successes for cohort in self.cohorts)
+
+    @property
+    def total_stale_faults_modeled(self) -> int:
+        """Modeled §5.7 stale faults across every cohort flow."""
+        return sum(cohort.stale_faults for cohort in self.cohorts)
+
+    @property
+    def modeled_rtt_histogram(self) -> LatencyHistogram:
+        """Every cohort flow's RTT histogram merged into one."""
+        merged = LatencyHistogram()
+        for cohort in self.cohorts:
+            merged.merge(cohort.rtt)
+        return merged
+
+    @property
+    def modeled_rtt_percentiles(self) -> dict[str, float]:
+        """p50/p95/p99 over the modeled calls (histogram resolution)."""
+        return self.modeled_rtt_histogram.percentiles()
+
+    @property
+    def modeled_mean_rtt(self) -> float:
+        """Mean modeled round-trip time across every cohort flow."""
+        total = sum(cohort.rtt_sum for cohort in self.cohorts)
+        count = sum(cohort.rtt.count for cohort in self.cohorts)
+        return total / count if count else 0.0
+
+    def cohort_fingerprint(self) -> tuple:
+        """Hashable snapshot of every cohort's counters (determinism asserts)."""
+        return tuple(cohort.fingerprint() for cohort in self.cohorts)
 
     # -- server-side aggregates (single-service workload compatibility) -----
 

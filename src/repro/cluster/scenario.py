@@ -41,6 +41,7 @@ import inspect
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterable, Sequence
 
+from repro.cluster.cohort import CohortFlow, CohortModel, build_flow_offsets
 from repro.cluster.driver import ClientPlan, FleetDriver
 from repro.cluster.protocols import ProtocolClientFactory
 from repro.cluster.registry import (
@@ -54,11 +55,12 @@ from repro.cluster.report import ClusterReport
 from repro.cluster.topology import ClusterWorld, ServerNode
 from repro.core.cde import ClientDevelopmentEnvironment, DynamicClientBinding
 from repro.core.sde import SDEConfig, Technology
-from repro.errors import ClusterError
+from repro.errors import ClusterError, HostNotFoundError
 from repro.faults import FaultInjector, RetryPolicy
 from repro.interface import Parameter
 from repro.jpie import DynamicClass
 from repro.net import LatencyModel
+from repro.net.simnet import Host
 from repro.rmitypes import RmiType, VOID
 
 #: Default protocol for services that do not name a technology.
@@ -177,6 +179,7 @@ class _ClientGroupSpec:
     stale_every: int | None
     stale_operation: str
     retry: RetryPolicy | None
+    cohort: CohortModel | None = None
 
 
 class Scenario:
@@ -282,6 +285,7 @@ class Scenario:
         stale_every: int | None = None,
         stale_operation: str = "no_such_operation",
         retry: RetryPolicy | None = None,
+        cohort: CohortModel | None = None,
     ) -> "Scenario":
         """Declare a fleet of ``count`` clients.
 
@@ -295,11 +299,24 @@ class Scenario:
         group failover-aware: a :class:`repro.faults.RetryPolicy` reissues
         transport-failed or timed-out calls against whatever replicas the
         routing policy still considers alive.
+
+        ``cohort`` scales the group past the discrete fleet's practical
+        ceiling: the group's first ``cohort.representatives`` clients stay
+        fully discrete while the remaining mass runs as aggregate
+        :class:`~repro.cluster.cohort.CohortFlow` arrival processes through
+        the same routing policies and server-core model (see
+        :mod:`repro.cluster.cohort`).  ``clients(1_000_000,
+        cohort=CohortModel(representatives=32), ...)`` is the
+        million-client form.
         """
         if count < 1:
             raise ClusterError("a client group needs at least one client")
         if service is not None and protocol_mix is not None:
             raise ClusterError("give a client group either a service or a protocol_mix")
+        if cohort is not None and not isinstance(cohort, CohortModel):
+            raise ClusterError(
+                f"cohort must be a CohortModel, got {type(cohort).__name__}"
+            )
         self._client_groups.append(
             _ClientGroupSpec(
                 count=count,
@@ -313,6 +330,7 @@ class Scenario:
                 stale_every=stale_every,
                 stale_operation=stale_operation,
                 retry=retry,
+                cohort=cohort,
             )
         )
         return self
@@ -548,8 +566,8 @@ class ScenarioRuntime:
             ]
             if pending:
                 self._force_and_settle(pending)
-        plans = self._build_plans()
-        if not plans and until is None and self.scenario._timeline:
+        plans, flows = self._build_plans()
+        if not plans and not flows and until is None and self.scenario._timeline:
             raise ClusterError(
                 "a scenario with timeline actions but no clients needs run(until=...)"
             )
@@ -567,6 +585,7 @@ class ScenarioRuntime:
             description=f"scenario {self.scenario.name}",
             until=until,
             faults=self.fault_injector,
+            cohorts=flows,
         )
         return driver.run()
 
@@ -586,14 +605,25 @@ class ScenarioRuntime:
             )
         return spec.operations[0].name
 
-    def _build_plans(self) -> list[ClientPlan]:
+    def _build_plans(self) -> tuple[list[ClientPlan], list[CohortFlow]]:
         plans: list[ClientPlan] = []
-        total = sum(group.count for group in self.scenario._client_groups)
+        flows: list[CohortFlow] = []
+        discrete_counts = [
+            group.count
+            if group.cohort is None
+            else min(group.count, group.cohort.representatives)
+            for group in self.scenario._client_groups
+        ]
         # A prefix distinct from add_client's auto-names ("client-{n}"), so
         # an ad-hoc machine can never alias a fleet client's host.
-        hosts = self.world.client_fleet(total, prefix="fleet-client-")
+        hosts = self.world.client_fleet(sum(discrete_counts), prefix="fleet-client-")
         index = 0
-        for group in self.scenario._client_groups:
+        for group, discrete_count in zip(self.scenario._client_groups, discrete_counts):
+            # The protocol interleave covers the FULL group, so the
+            # representatives' assignments are exactly what positions
+            # 0..reps-1 would get in the all-discrete group and the flow
+            # mass inherits the rest — cohort aggregation never shifts who
+            # speaks which protocol.
             if group.service is not None:
                 entry = self.registry.lookup(group.service)
                 targets = [(entry.technology, entry.name)] * group.count
@@ -604,7 +634,8 @@ class ScenarioRuntime:
                     (protocol, self._service_for_protocol(protocol).name)
                     for protocol in protocols
                 ]
-            for position, (protocol, service) in enumerate(targets):
+            for position in range(discrete_count):
+                protocol, service = targets[position]
                 operation = group.operation or self._default_operation(service)
                 offset = (
                     group.arrival(position)
@@ -628,7 +659,40 @@ class ScenarioRuntime:
                     )
                 )
                 index += 1
-        return plans
+            if group.cohort is None or group.count <= discrete_count:
+                continue
+            members: dict[tuple[str, str], list[int]] = {}
+            for position in range(discrete_count, group.count):
+                members.setdefault(targets[position], []).append(position)
+            for (protocol, service), positions in members.items():
+                flow_number = len(flows) + 1
+                host = self._cohort_host(flow_number)
+                flows.append(
+                    CohortFlow(
+                        index=flow_number,
+                        name=f"cohort-{flow_number}",
+                        protocol=protocol,
+                        service=service,
+                        operation=group.operation or self._default_operation(service),
+                        arguments=group.arguments,
+                        calls=group.calls,
+                        think_time=group.think_time,
+                        offsets=build_flow_offsets(positions, group.arrival),
+                        model=group.cohort,
+                        host=host,
+                        world=self.world,
+                        registry=self.registry,
+                    )
+                )
+        return plans, flows
+
+    def _cohort_host(self, number: int) -> Host:
+        """The reusable client machine carrying one cohort flow's stack."""
+        name = f"cohort-client-{number}"
+        try:
+            return self.world.network.host(name)
+        except HostNotFoundError:
+            return self.world.add_client(name)
 
     def _bind_action(self, action: Callable[..., None]) -> Callable[[], None]:
         try:

@@ -8,7 +8,7 @@ this reproduction is driven by a virtual clock and an event scheduler.
 """
 
 from repro.sim.clock import Clock
-from repro.sim.scheduler import Event, Scheduler
+from repro.sim.scheduler import Event, EventStream, Scheduler
 from repro.sim.servercore import ServerCore
 from repro.sim.timers import ResettableTimer, PeriodicTimer
 from repro.sim.latch import CompletionLatch
@@ -16,6 +16,7 @@ from repro.sim.latch import CompletionLatch
 __all__ = [
     "Clock",
     "Event",
+    "EventStream",
     "Scheduler",
     "ServerCore",
     "ResettableTimer",

@@ -14,10 +14,11 @@ from repro._backend import load_impl as _load_impl
 _impl = _load_impl("_scheduler_impl")
 
 Event = _impl.Event
+EventStream = _impl.EventStream
 Scheduler = _impl.Scheduler
 
 #: Tunables re-exported for tests and diagnostics.
 _PURGE_MIN_QUEUE = _impl._PURGE_MIN_QUEUE
 _EVENT_POOL_LIMIT = _impl._EVENT_POOL_LIMIT
 
-__all__ = ["Event", "Scheduler"]
+__all__ = ["Event", "EventStream", "Scheduler"]

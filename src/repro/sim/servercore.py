@@ -93,6 +93,64 @@ class ServerCore:
                 self.max_queue_delay = wait
         return finish - now
 
+    def charge_batch(self, cost: float, jobs: int) -> tuple[float, float]:
+        """Charge ``jobs`` identical ``cost``-second jobs in one aggregate.
+
+        The cohort-flow layer injects the modeled client mass through here:
+        instead of one :meth:`charge` call per modeled request, a whole
+        tick's worth of arrivals for one replica lands as a single batch.
+        The batch spreads evenly across the core pool — earliest-free cores
+        take the remainder first, mirroring how per-job greedy assignment
+        fills an idle pool — and each core's queue-wait series is summed in
+        closed form, so the call is O(cores) regardless of ``jobs``.
+
+        Returns ``(total_delay, max_delay)``: the sum over all jobs of
+        (queue wait + cost), and the single worst job's delay.  Gauges
+        (``busy_seconds``, ``waited_seconds``, ``contended_jobs``,
+        ``max_queue_delay``) advance exactly as if each job were charged
+        individually under the even spread.
+        """
+        if cost < 0:
+            raise SchedulerError(f"processing cost must be non-negative, got {cost}")
+        if jobs < 0:
+            raise SchedulerError(f"job count must be non-negative, got {jobs}")
+        if jobs == 0:
+            return (0.0, 0.0)
+        now = self.scheduler.clock.now
+        free_at = self._free_at
+        used = min(jobs, self.cores)
+        # Pop in ascending free-time order: the earliest-free cores get the
+        # remainder jobs, keeping the spread deterministic.
+        starts = [heapq.heappop(free_at) for _ in range(used)]
+        base, extra = divmod(jobs, used)
+        total_delay = 0.0
+        max_delay = 0.0
+        for rank in range(used):
+            share = base + (1 if rank < extra else 0)
+            start = starts[rank]
+            if start < now:
+                start = now
+            wait0 = start - now
+            # Waits on this core form an arithmetic series:
+            # wait0, wait0+cost, ..., wait0+(share-1)*cost.
+            wait_sum = share * wait0 + cost * (share * (share - 1) / 2)
+            last_wait = wait0 + (share - 1) * cost
+            total_delay += wait_sum + share * cost
+            core_max = last_wait + cost
+            if core_max > max_delay:
+                max_delay = core_max
+            self.waited_seconds += wait_sum
+            if cost > 0:
+                self.contended_jobs += share if wait0 > 0 else share - 1
+            elif wait0 > 0:
+                self.contended_jobs += share
+            if last_wait > self.max_queue_delay:
+                self.max_queue_delay = last_wait
+            heapq.heappush(free_at, start + share * cost)
+        self.jobs_charged += jobs
+        self.busy_seconds += cost * jobs
+        return (total_delay, max_delay)
+
     @property
     def busy_cores(self) -> int:
         """Cores currently committed past the present instant."""

@@ -1,0 +1,112 @@
+"""The streaming fixed-bin latency histogram behind cohort RTT accounting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.histogram import DEFAULT_BIN_WIDTH, LatencyHistogram
+from repro.cluster.report import (
+    EXACT_PERCENTILE_SAMPLE_LIMIT,
+    ClusterReport,
+    rtt_percentiles,
+)
+from repro.errors import ClusterError
+
+
+class TestLatencyHistogram:
+    def test_empty(self):
+        histogram = LatencyHistogram()
+        assert len(histogram) == 0
+        assert histogram.mean == 0.0
+        assert histogram.percentile(50) == 0.0
+        assert histogram.percentiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_add_and_mean(self):
+        histogram = LatencyHistogram()
+        histogram.add(0.010)
+        histogram.add_many(0.020, 3)
+        assert len(histogram) == 4
+        assert histogram.mean == pytest.approx((0.010 + 3 * 0.020) / 4)
+        assert histogram.min_value == 0.010
+        assert histogram.max_value == 0.020
+
+    def test_add_many_zero_count_is_noop(self):
+        histogram = LatencyHistogram()
+        histogram.add_many(0.5, 0)
+        histogram.add_many(0.5, -3)
+        assert len(histogram) == 0
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ClusterError):
+            LatencyHistogram().add(-0.001)
+
+    def test_bad_bin_width_rejected(self):
+        with pytest.raises(ClusterError):
+            LatencyHistogram(bin_width=0.0)
+
+    def test_percentile_level_validated(self):
+        with pytest.raises(ClusterError):
+            LatencyHistogram().percentile(101)
+
+    def test_percentile_clamped_to_observed_range(self):
+        """Bin midpoints can lie outside the observed values; answers can't."""
+        histogram = LatencyHistogram(bin_width=1.0)
+        histogram.add(0.1)  # bin 0, midpoint 0.5 > max observed 0.1
+        assert histogram.percentile(50) == 0.1
+        histogram.add(0.9)  # same bin; p0 must not dip below min
+        assert histogram.percentile(0) == pytest.approx(0.5)
+
+    def test_merge(self):
+        left = LatencyHistogram()
+        right = LatencyHistogram()
+        left.add_many(0.010, 5)
+        right.add_many(0.030, 5)
+        left.merge(right)
+        assert len(left) == 10
+        assert left.max_value == 0.030
+        assert left.mean == pytest.approx(0.020)
+
+    def test_merge_rejects_mismatched_bins(self):
+        with pytest.raises(ClusterError):
+            LatencyHistogram(1e-4).merge(LatencyHistogram(1e-3))
+
+    def test_fingerprint_tracks_state(self):
+        one, two = LatencyHistogram(), LatencyHistogram()
+        for histogram in (one, two):
+            histogram.add_many(0.010, 4)
+            histogram.add(0.025)
+        assert one.fingerprint() == two.fingerprint()
+        two.add(0.030)
+        assert one.fingerprint() != two.fingerprint()
+
+    @given(
+        samples=st.lists(
+            st.floats(min_value=0.0, max_value=0.25, allow_nan=False),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_percentiles_within_one_bin_of_nearest_rank(self, samples):
+        """Histogram percentiles land within one bin width of the owning
+        nearest-rank sample (the exact path additionally interpolates
+        between ranks, so it is not the reference here)."""
+        histogram = LatencyHistogram()
+        for sample in samples:
+            histogram.add(sample)
+        ordered = sorted(samples)
+        approximate = histogram.percentiles()
+        for level, key in ((50, "p50"), (95, "p95"), (99, "p99")):
+            rank = (len(ordered) - 1) * level / 100.0
+            owner = ordered[int(rank)]
+            assert abs(approximate[key] - owner) <= DEFAULT_BIN_WIDTH
+
+
+class TestReportPercentilePaths:
+    def test_exact_path_below_threshold(self):
+        """Small discrete fleets keep the exact per-sample percentiles —
+        byte-identical to the pre-histogram behaviour."""
+        assert EXACT_PERCENTILE_SAMPLE_LIMIT >= 4096  # seed scenarios fit
+        report = ClusterReport(started_at=0.0, finished_at=1.0)
+        assert report.rtt_percentiles == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
