@@ -1,0 +1,98 @@
+"""Open-loop traffic shapes over the fault drill (:mod:`repro.traffic`).
+
+The 4-server × 256-client drill rerun under two seeded arrival processes —
+Poisson open-loop arrivals and a flash crowd dumping three quarters of the
+fleet onto the servers at one instant — instead of the historical uniform
+stagger.  The benchmark records the cost of *simulating* each shape and a
+``calls_per_sec`` headline (completed simulated calls per wall-clock
+second of simulation), which ``run_all.py`` surfaces in its summary.
+
+Byte-determinism is asserted the strongest way the report allows: two
+fresh in-process runs must agree on the full
+:meth:`~repro.cluster.report.ClusterReport.fingerprint` — every RTT,
+routing decision, outage and rollout wave, bit for bit — because the
+arrival processes are pure functions of their seed (the invariant the
+trace record/replay layer relies on).
+
+``REPRO_BENCH_QUICK=1`` (set by ``run_all.py --quick``) shrinks the fleet.
+
+Run with:  pytest benchmarks/bench_traffic_shapes.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.cluster.presets import (
+    FAULT_DRILL_CLIENTS,
+    FAULT_DRILL_CLIENTS_QUICK,
+    FAULT_DRILL_SERVERS,
+    fault_drill_scenario,
+)
+from repro.traffic import FlashCrowd, Poisson
+
+_QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+
+CLIENTS = FAULT_DRILL_CLIENTS_QUICK if _QUICK else FAULT_DRILL_CLIENTS
+
+#: Arrival window of the historical drill (256 clients × 0.0005 s stagger);
+#: both shapes aim the same offered-load window so RTTs stay comparable.
+_WINDOW_S = FAULT_DRILL_CLIENTS * 0.0005
+
+#: The two shapes under test, by benchmark id.
+SHAPES = {
+    "poisson": Poisson(rate=CLIENTS / _WINDOW_S, seed=42),
+    "flash_crowd": FlashCrowd(
+        at=0.05, magnitude=3.0, decay=0.01, rate=CLIENTS / _WINDOW_S, seed=42
+    ),
+}
+
+
+@pytest.mark.benchmark(group="traffic-shapes")
+@pytest.mark.parametrize("shape", sorted(SHAPES), ids=sorted(SHAPES))
+def test_traffic_shape_drill(benchmark, shape):
+    """The 4×256 drill under a seeded open-loop arrival shape, deterministic."""
+    arrival = SHAPES[shape]
+
+    def run_twice():
+        started = time.perf_counter()
+        reports = (
+            fault_drill_scenario(CLIENTS, arrival=arrival).run(),
+            fault_drill_scenario(CLIENTS, arrival=arrival).run(),
+        )
+        return reports + (time.perf_counter() - started,)
+
+    first, second, elapsed = benchmark.pedantic(run_twice, rounds=1, iterations=1)
+
+    # Byte-deterministic: the FULL report fingerprint — every RTT, replica
+    # choice, outage and event count — is identical across fresh runs.
+    assert first.fingerprint() == second.fingerprint()
+    assert first.all_rtts == second.all_rtts
+    assert first.events_dispatched == second.events_dispatched
+
+    # The drill's acceptance invariants hold under open-loop arrivals too.
+    assert first.total_calls + first.total_abandoned_calls == CLIENTS * 4
+    assert first.total_successes == first.total_calls
+    assert first.total_recency_violations == 0
+
+    completed = first.total_calls + second.total_calls
+    calls_per_sec = completed / elapsed if elapsed > 0 else 0.0
+
+    benchmark.extra_info["clients"] = CLIENTS
+    benchmark.extra_info["servers"] = FAULT_DRILL_SERVERS
+    benchmark.extra_info["arrival"] = repr(arrival)
+    benchmark.extra_info["calls_per_sec"] = round(calls_per_sec, 1)
+    benchmark.extra_info["simulated_duration_s"] = round(first.duration, 5)
+    benchmark.extra_info["events_dispatched"] = first.events_dispatched
+    benchmark.extra_info["mean_simulated_rtt_s"] = round(first.mean_rtt, 5)
+    percentiles = first.rtt_percentiles
+    benchmark.extra_info["rtt_p50_s"] = round(percentiles["p50"], 6)
+    benchmark.extra_info["rtt_p95_s"] = round(percentiles["p95"], 6)
+    benchmark.extra_info["rtt_p99_s"] = round(percentiles["p99"], 6)
+    benchmark.extra_info["deterministic_failed_attempts"] = first.total_failed_attempts
+    benchmark.extra_info["deterministic_retried_calls"] = first.total_retried_calls
+    benchmark.extra_info["deterministic_abandoned_calls"] = first.total_abandoned_calls
+    benchmark.extra_info["recency_violations"] = first.total_recency_violations

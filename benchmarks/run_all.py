@@ -10,6 +10,7 @@ Usage::
                                                  # wall-clock regressions (CI gate)
     python benchmarks/run_all.py --list          # print discovered files, run nothing
     python benchmarks/run_all.py --compact       # prune the trajectory file and exit
+    python benchmarks/run_all.py --quick --compact   # run, then prune in one go
 
 Each invocation appends one record to ``BENCH_results.json`` at the repo
 root, so successive PRs accumulate a performance trajectory: wall-clock
@@ -44,7 +45,10 @@ only its most recent appearances (per quick/full mode), and runs left with
 no benchmarks are dropped.  The trajectory grows by one record per
 invocation forever otherwise; compaction keeps enough history for the
 regression gate (which only ever compares against the most recent
-comparable run) while bounding the file.
+comparable run) while bounding the file.  Alone, ``--compact`` prunes and
+exits; combined with a run (``--quick --strict --compact``, as CI does) it
+prunes *after* the run's record is appended, so the trajectory stays
+bounded without a separate invocation.
 
 ``--quick`` exports ``REPRO_BENCH_QUICK=1``; parameter-heavy benchmarks read
 it at collection time and shrink their grids (fewer fleet sizes, fewer
@@ -306,18 +310,16 @@ def main(argv: list[str]) -> int:
     quick = "--quick" in args
     list_only = "--list" in args
     strict = "--strict" in args
-    if "--compact" in args:
-        trajectory = load_trajectory()
-        before = len(trajectory["runs"])
-        compacted = compact_trajectory(trajectory)
-        RESULTS_PATH.write_text(json.dumps(compacted, indent=2) + "\n")
-        print(
-            f"compacted {RESULTS_PATH.name}: {before} -> "
-            f"{len(compacted['runs'])} run(s), keeping the last "
-            f"{COMPACT_KEEP} appearance(s) of each benchmark"
-        )
+    compact = "--compact" in args
+    if compact and args == ["--compact"]:
+        # Standalone form: prune the trajectory and exit (the historical
+        # behaviour).  Combined with a run, compaction happens after the
+        # run's record is appended instead — see the end of main().
+        _compact_and_report()
         return 0
-    patterns = [arg for arg in args if arg not in ("--quick", "--list", "--strict")]
+    patterns = [
+        arg for arg in args if arg not in ("--quick", "--list", "--strict", "--compact")
+    ]
     files = discover(patterns or None)
     if not files:
         print(f"no benchmark files match {patterns!r}", file=sys.stderr)
@@ -355,6 +357,9 @@ def main(argv: list[str]) -> int:
         ]
         if percentiles:
             line += f"  [simulated RTT {' '.join(percentiles)}]"
+        calls_per_sec = extra.get("calls_per_sec")
+        if isinstance(calls_per_sec, (int, float)) and not isinstance(calls_per_sec, bool):
+            line += f"  [{calls_per_sec:,.0f} simulated calls/s]"
         print(line)
     for regression in regressions:
         evidence = regression.get("deterministic_metrics")
@@ -391,7 +396,21 @@ def main(argv: list[str]) -> int:
             )
             if exit_code == 0:
                 exit_code = 3
+    if compact:
+        _compact_and_report()
     return exit_code
+
+
+def _compact_and_report() -> None:
+    trajectory = load_trajectory()
+    before = len(trajectory["runs"])
+    compacted = compact_trajectory(trajectory)
+    RESULTS_PATH.write_text(json.dumps(compacted, indent=2) + "\n")
+    print(
+        f"compacted {RESULTS_PATH.name}: {before} -> "
+        f"{len(compacted['runs'])} run(s), keeping the last "
+        f"{COMPACT_KEEP} appearance(s) of each benchmark"
+    )
 
 
 if __name__ == "__main__":

@@ -114,7 +114,7 @@ from repro.rmitypes import (
 )
 from repro.testbed import LiveDevelopmentTestbed, OperationSpec
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "ReproError",

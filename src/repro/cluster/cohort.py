@@ -340,6 +340,13 @@ class CohortFlow:
     def _route(self, count: int, attempt: int, watermark: int) -> None:
         """Route ``count`` modeled calls through the registry's policies."""
         assert self.driver is not None
+        if self.driver.trace is not None:
+            self.driver.trace.note_flow(
+                time=self.driver.scheduler.now,
+                flow=self.name,
+                count=count,
+                attempt=attempt,
+            )
         report = self.report
         network = self.world.network
         host_name = self.host.name
@@ -445,20 +452,14 @@ def build_flow_offsets(
 ) -> "array[float]":
     """The sorted arrival offsets for a group's modeled positions.
 
-    Uses the same convention as discrete plans: a float ``arrival``
-    staggers position ``i`` at ``i * arrival``; a callable maps the
-    position to its offset.  Sorting keeps the flow's bisect pointers
-    valid for arbitrary callables.
+    Uses the same convention as discrete plans — a float ``arrival``
+    staggers position ``i`` at ``i * arrival``, a callable maps the
+    position to its offset, and an
+    :class:`~repro.traffic.arrivals.ArrivalProcess` draws the group's
+    offsets from its seeded stream — via the one shared resolver in
+    :mod:`repro.traffic.arrivals`.  Sorting keeps the flow's bisect
+    pointers valid for arbitrary shapes.
     """
-    if callable(arrival):
-        offsets = sorted(float(arrival(position)) for position in positions)
-    else:
-        step = float(arrival)
-        if step < 0:
-            raise ClusterError(f"arrival spacing must be non-negative, got {step}")
-        offsets = [position * step for position in positions]
-    if offsets and offsets[0] < 0:
-        raise ClusterError(
-            f"arrival offsets must be non-negative, got {offsets[0]}"
-        )
-    return array("d", offsets)
+    from repro.traffic.arrivals import offsets_for_positions
+
+    return array("d", sorted(offsets_for_positions(arrival, positions)))

@@ -257,6 +257,7 @@ class _FleetClient:
             return
         self.report.rtts.append(self.driver.scheduler.now - self._call_started)
         self._count(outcome)
+        self._note_trace(operation, outcome, replica.index)
         self.driver._note_version_call(replica)
         rollout = self.entry.active_rollout
         if rollout is not None:
@@ -305,9 +306,25 @@ class _FleetClient:
         # Budget exhausted (or no policy): the call is abandoned — it has no
         # RTT and no outcome classification, only the abandoned counter.
         self.report.abandoned_calls += 1
+        self._note_trace(operation, "abandoned", None)
         self._after_call()
 
     # -- bookkeeping ---------------------------------------------------------
+
+    def _note_trace(self, operation: str, outcome: str, replica: int | None) -> None:
+        """Stream this call's final outcome into the run's trace, if any."""
+        trace = self.driver.trace
+        if trace is not None:
+            trace.note_call(
+                issued_at=self._call_started,
+                completed_at=self.driver.scheduler.now,
+                client=self.report.name,
+                protocol=self.plan.protocol,
+                service=self.plan.service,
+                operation=operation,
+                outcome=outcome,
+                replica=replica,
+            )
 
     def _after_call(self) -> None:
         think = self.plan.think_time
@@ -529,6 +546,7 @@ class FleetDriver:
         until: float | None = None,  # run-relative horizon, like the offsets
         faults: "FaultInjector | None" = None,
         cohorts: "Iterable[CohortFlow]" = (),
+        trace: "Any | None" = None,
     ) -> None:
         self.scheduler = scheduler
         self.registry = registry
@@ -537,6 +555,10 @@ class FleetDriver:
         self._protocol_factories = protocol_factories or {}
         self.description = description
         self.until = until
+        #: Optional :class:`repro.traffic.trace.TraceWriter`: per-call
+        #: outcomes, cohort-flow batches and timeline firings are streamed
+        #: into it while the run is in flight.  ``None`` costs nothing.
+        self.trace = trace
         #: The world's fault injector, when one is wired in: successful
         #: replies stamp recovery times and the report gains availability
         #: metrics (downtime, recovery latency) derived from its outage log.
@@ -674,6 +696,10 @@ class FleetDriver:
 
         def fire() -> None:
             if not self.closed:
+                if self.trace is not None:
+                    self.trace.note_timeline(
+                        self.scheduler.now, getattr(action, "__trace_event__", None)
+                    )
                 action()
 
         return fire

@@ -24,6 +24,7 @@ from repro.evolve import rolling, upgrade
 from repro.faults import RetryPolicy, crash, heal, partition, restart
 from repro.net.latency import CostModel
 from repro.rmitypes import STRING
+from repro.traffic.trace import echo_body
 
 #: The acceptance floor is 256 clients; quick CI grids run a quarter of it.
 FAULT_DRILL_CLIENTS = 256
@@ -61,7 +62,9 @@ def fault_drill_scenario(
     """
     if servers < 2:
         raise ValueError("the fault drill needs at least 2 servers to fail over")
-    echo = op("echo", (("message", STRING),), STRING, body=lambda _self, m: m)
+    # The registered echo body keeps the drill traceable (record/replay);
+    # it computes exactly what the historical lambda did.
+    echo = op("echo", (("message", STRING),), STRING, body=echo_body)
     retry = RetryPolicy(max_attempts=4, timeout=0.08, backoff=0.005)
     partitioned = f"server-{min(servers, 3)}"
     return (
@@ -125,7 +128,7 @@ def million_client_scenario(
     keeps arriving.  Every client issues 2 calls; arrivals are spread so
     the whole mass lands within the drill's fault window.
     """
-    echo_v2 = op("echo_v2", (("message", STRING),), STRING, body=lambda _self, m: m)
+    echo_v2 = op("echo_v2", (("message", STRING),), STRING, body=echo_body)
     return fault_drill_scenario(
         clients,
         cores=2,

@@ -133,6 +133,30 @@ class ClientReport:
         """Calls this client completed (successes plus faults)."""
         return len(self.rtts)
 
+    def fingerprint(self) -> tuple:
+        """Hashable snapshot of everything this client observed.
+
+        Per-call RTTs and the routing sequence are included verbatim, so
+        two fingerprints compare equal only when the runs were
+        byte-identical for this client.
+        """
+        return (
+            self.name,
+            self.protocol,
+            self.service,
+            tuple(self.rtts),
+            self.successes,
+            self.stale_faults,
+            self.not_initialized_faults,
+            self.other_faults,
+            tuple(self.replica_sequence),
+            self.failed_attempts,
+            self.retried_calls,
+            self.abandoned_calls,
+            self.recency_violations,
+            self.rebinds,
+        )
+
     @property
     def mean_rtt(self) -> float:
         """Mean round-trip time over this client's calls."""
@@ -560,6 +584,87 @@ class ClusterReport:
     def cohort_fingerprint(self) -> tuple:
         """Hashable snapshot of every cohort's counters (determinism asserts)."""
         return tuple(cohort.fingerprint() for cohort in self.cohorts)
+
+    def fingerprint(self) -> tuple:
+        """Hashable snapshot of the whole run, for byte-identity asserts.
+
+        Covers the window bounds, every client's per-call RTT and routing
+        sequence, every replica's and node's server-side counters, the
+        window's rollouts, the event count, and the cohort fingerprints —
+        two runs with equal fingerprints performed identical simulated
+        work.  Trace replay (:mod:`repro.traffic.trace`) and the scenario
+        fuzzer assert equality on exactly this value.
+        """
+        services = tuple(
+            (
+                service.name,
+                service.technology,
+                service.policy,
+                tuple(
+                    (
+                        replica.index,
+                        replica.node,
+                        replica.class_name,
+                        replica.calls_routed,
+                        replica.stalled_calls,
+                        replica.queued_while_stalled,
+                        replica.max_stall_queue_depth,
+                        replica.connections,
+                        replica.replies_sent,
+                        replica.publications,
+                        replica.forced_publications,
+                        replica.stale_call_publications,
+                        replica.interface_version,
+                        replica.downtime_s,
+                        tuple(sorted(replica.calls_by_version.items())),
+                    )
+                    for replica in service.replicas
+                ),
+            )
+            for service in self.services
+        )
+        nodes = tuple(
+            (
+                node.name,
+                node.cores,
+                node.busy_seconds,
+                node.waited_seconds,
+                node.max_core_wait,
+                node.outages,
+                node.downtime_s,
+                node.recovery_latency_s,
+            )
+            for node in self.nodes
+        )
+        rollouts = tuple(
+            (
+                rollout.service,
+                rollout.strategy,
+                rollout.started_at,
+                rollout.finished_at,
+                rollout.aborted,
+                rollout.rolled_back,
+                rollout.deferred_resumes,
+                rollout.calls_during,
+                rollout.stale_faults_during,
+                rollout.rebinds_during,
+                tuple(
+                    (wave.index, wave.replicas, wave.started_at, wave.published_at)
+                    for wave in rollout.waves
+                ),
+            )
+            for rollout in self.rollouts
+        )
+        return (
+            self.started_at,
+            self.finished_at,
+            tuple(client.fingerprint() for client in self.clients),
+            services,
+            nodes,
+            rollouts,
+            self.events_dispatched,
+            self.cohort_fingerprint(),
+        )
 
     # -- server-side aggregates (single-service workload compatibility) -----
 

@@ -38,10 +38,11 @@ them — see ARCHITECTURE.md "Fault model".
 from __future__ import annotations
 
 import inspect
+from array import array
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterable, Sequence
 
-from repro.cluster.cohort import CohortFlow, CohortModel, build_flow_offsets
+from repro.cluster.cohort import CohortFlow, CohortModel
 from repro.cluster.driver import ClientPlan, FleetDriver
 from repro.cluster.protocols import ProtocolClientFactory
 from repro.cluster.registry import (
@@ -62,6 +63,7 @@ from repro.jpie import DynamicClass
 from repro.net import LatencyModel
 from repro.net.simnet import Host
 from repro.rmitypes import RmiType, VOID
+from repro.traffic.arrivals import resolve_offsets
 
 #: Default protocol for services that do not name a technology.
 DEFAULT_TECHNOLOGY = "soap"
@@ -108,6 +110,11 @@ def edit(service: str, *operations: OperationSpec):
                     distributed=True,
                 )
 
+    action.__trace_event__ = {
+        "kind": "edit",
+        "service": service,
+        "operations": operations,
+    }
     return action
 
 
@@ -118,6 +125,7 @@ def publish(service: str):
         for replica in runtime.replicas(service):
             replica.node.manager_interface.force_publication(replica.class_name)
 
+    action.__trace_event__ = {"kind": "publish", "service": service}
     return action
 
 
@@ -150,6 +158,13 @@ def churn(service: str, rounds: int = 3, period: float = 1.0, prefix: str = "chu
 
         one_round()
 
+    action.__trace_event__ = {
+        "kind": "churn",
+        "service": service,
+        "rounds": rounds,
+        "period": period,
+        "prefix": prefix,
+    }
     return action
 
 
@@ -294,7 +309,12 @@ class Scenario:
         declared service of its assigned protocol; protocols are assigned by
         a deterministic weighted interleave.  ``arrival`` staggers start
         times: a float ``s`` starts client *i* at ``i * s``, a callable maps
-        the client index to its offset.  ``operation`` defaults to the first
+        the client index to its offset, and an
+        :class:`~repro.traffic.arrivals.ArrivalProcess` (``Poisson``,
+        ``ParetoHeavyTail``, ``Diurnal``, ``FlashCrowd``, ``ClientChurn``)
+        draws the whole group's offsets from one seeded stream — open-loop
+        load shapes, identical for discrete clients and cohort flow mass
+        (see :mod:`repro.traffic`).  ``operation`` defaults to the first
         operation declared for the target service.  ``retry`` makes the
         group failover-aware: a :class:`repro.faults.RetryPolicy` reissues
         transport-failed or timed-out calls against whatever replicas the
@@ -353,9 +373,13 @@ class Scenario:
         """Build the world (servers, services, registry) without running it."""
         return ScenarioRuntime(self)
 
-    def run(self, until: float | None = None) -> ClusterReport:
-        """Build the world, publish every service, drive the fleet, report."""
-        return self.build().run(until=until)
+    def run(self, until: float | None = None, trace: Any | None = None) -> ClusterReport:
+        """Build the world, publish every service, drive the fleet, report.
+
+        ``trace`` is an optional :class:`repro.traffic.trace.TraceWriter`;
+        use :func:`repro.traffic.record` for the full record protocol.
+        """
+        return self.build().run(until=until, trace=trace)
 
     def __repr__(self) -> str:
         return (
@@ -544,7 +568,7 @@ class ScenarioRuntime:
 
     # -- the measured run ---------------------------------------------------
 
-    def run(self, until: float | None = None) -> ClusterReport:
+    def run(self, until: float | None = None, trace: Any | None = None) -> ClusterReport:
         """Publish where still needed, drive the declared fleet, and report.
 
         Client fleets need current interface documents, so services not yet
@@ -586,6 +610,7 @@ class ScenarioRuntime:
             until=until,
             faults=self.fault_injector,
             cohorts=flows,
+            trace=trace,
         )
         return driver.run()
 
@@ -619,6 +644,12 @@ class ScenarioRuntime:
         hosts = self.world.client_fleet(sum(discrete_counts), prefix="fleet-client-")
         index = 0
         for group, discrete_count in zip(self.scenario._client_groups, discrete_counts):
+            # One resolution covers the FULL group (scalar spacing, callable,
+            # or seeded ArrivalProcess — see repro.traffic.arrivals), so the
+            # discrete representatives and the flow mass draw their offsets
+            # from the same stream: cohort aggregation never shifts when
+            # anyone arrives.
+            group_offsets = resolve_offsets(group.arrival, group.count)
             # The protocol interleave covers the FULL group, so the
             # representatives' assignments are exactly what positions
             # 0..reps-1 would get in the all-discrete group and the flow
@@ -637,11 +668,6 @@ class ScenarioRuntime:
             for position in range(discrete_count):
                 protocol, service = targets[position]
                 operation = group.operation or self._default_operation(service)
-                offset = (
-                    group.arrival(position)
-                    if callable(group.arrival)
-                    else position * group.arrival
-                )
                 plans.append(
                     ClientPlan(
                         index=index,
@@ -652,7 +678,7 @@ class ScenarioRuntime:
                         operation=operation,
                         arguments=group.arguments,
                         think_time=group.think_time,
-                        start_offset=offset,
+                        start_offset=group_offsets[position],
                         stale_every=group.stale_every,
                         stale_operation=group.stale_operation,
                         retry=group.retry,
@@ -677,7 +703,9 @@ class ScenarioRuntime:
                         arguments=group.arguments,
                         calls=group.calls,
                         think_time=group.think_time,
-                        offsets=build_flow_offsets(positions, group.arrival),
+                        offsets=array(
+                            "d", sorted(group_offsets[p] for p in positions)
+                        ),
                         model=group.cohort,
                         host=host,
                         world=self.world,
@@ -701,7 +729,13 @@ class ScenarioRuntime:
             parameter_count = 1
         if parameter_count == 0:
             return action
-        return lambda: action(self)
+        bound = lambda: action(self)  # noqa: E731 - metadata is attached below
+        meta = getattr(action, "__trace_event__", None)
+        if meta is not None:
+            # Keep the trace metadata visible on the bound callable, so the
+            # driver's scripted-event guard can record the firing.
+            bound.__trace_event__ = meta  # type: ignore[attr-defined]
+        return bound
 
     def __repr__(self) -> str:
         return (

@@ -267,6 +267,16 @@ class NoAliveReplicaError(ClusterError):
     failure and wait for a restart."""
 
 
+# -- traffic layer -----------------------------------------------------------------
+
+
+class TraceError(ClusterError):
+    """Raised by the trace record/replay layer (:mod:`repro.traffic.trace`):
+    unversioned or malformed trace files, and scenarios that cannot be
+    serialised (unregistered operation bodies, non-JSON arguments,
+    untraceable timeline actions)."""
+
+
 # -- interface-evolution layer -----------------------------------------------------
 
 

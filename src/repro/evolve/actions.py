@@ -61,6 +61,14 @@ def rolling(
             retry_interval=retry_interval,
         ).start()
 
+    action.__trace_event__ = {
+        "kind": "rolling",
+        "service": service,
+        "change": change,
+        "batch_size": batch_size,
+        "drain": drain,
+        "retry_interval": retry_interval,
+    }
     return action
 
 
@@ -89,6 +97,14 @@ def canary(
             retry_interval=retry_interval,
         ).start()
 
+    action.__trace_event__ = {
+        "kind": "canary",
+        "service": service,
+        "change": change,
+        "fraction": fraction,
+        "promote_after": promote_after,
+        "retry_interval": retry_interval,
+    }
     return action
 
 
@@ -105,4 +121,5 @@ def abort_rollout(service: str) -> Action:
         if controller is not None:
             controller.abort()
 
+    action.__trace_event__ = {"kind": "abort_rollout", "service": service}
     return action

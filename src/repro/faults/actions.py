@@ -37,6 +37,7 @@ def crash(server: "NodeRef") -> Action:
     def action(runtime: "ScenarioRuntime") -> None:
         runtime.fault_injector.crash(server)
 
+    action.__trace_event__ = {"kind": "crash", "server": server}
     return action
 
 
@@ -46,6 +47,7 @@ def restart(server: "NodeRef") -> Action:
     def action(runtime: "ScenarioRuntime") -> None:
         runtime.fault_injector.restart(server)
 
+    action.__trace_event__ = {"kind": "restart", "server": server}
     return action
 
 
@@ -55,6 +57,7 @@ def partition(a: "NodeRef", b: "NodeRef | None" = None) -> Action:
     def action(runtime: "ScenarioRuntime") -> None:
         runtime.fault_injector.partition(a, b)
 
+    action.__trace_event__ = {"kind": "partition", "a": a, "b": b}
     return action
 
 
@@ -64,6 +67,7 @@ def heal(a: "NodeRef | None" = None, b: "NodeRef | None" = None) -> Action:
     def action(runtime: "ScenarioRuntime") -> None:
         runtime.fault_injector.heal(a, b)
 
+    action.__trace_event__ = {"kind": "heal", "a": a, "b": b}
     return action
 
 
@@ -79,6 +83,14 @@ def drop_link(
     def action(runtime: "ScenarioRuntime") -> None:
         runtime.fault_injector.drop_link(a, b, loss=loss, jitter=jitter, seed=seed)
 
+    action.__trace_event__ = {
+        "kind": "drop_link",
+        "a": a,
+        "b": b,
+        "loss": loss,
+        "jitter": jitter,
+        "seed": seed,
+    }
     return action
 
 
@@ -88,4 +100,5 @@ def restore_link(a: "NodeRef", b: "NodeRef") -> Action:
     def action(runtime: "ScenarioRuntime") -> None:
         runtime.fault_injector.restore_link(a, b)
 
+    action.__trace_event__ = {"kind": "restore_link", "a": a, "b": b}
     return action

@@ -1,0 +1,63 @@
+"""``repro.traffic`` — traffic realism: open-loop arrivals, trace
+record/replay, and seeded scenario fuzzing.
+
+Three cooperating parts (ARCHITECTURE.md "Traffic model & replay"):
+
+* :mod:`repro.traffic.arrivals` — the seeded :class:`ArrivalProcess`
+  protocol (:class:`Poisson`, :class:`ParetoHeavyTail`, :class:`Diurnal`,
+  :class:`FlashCrowd`, :class:`ClientChurn`) plus the one shared
+  :func:`resolve_offsets` helper behind ``Scenario.clients(...,
+  arrival=...)`` and the cohort flow builder;
+* :mod:`repro.traffic.trace` — a versioned JSONL trace format
+  (:class:`TraceWriter` / :class:`TraceReader`), :func:`record` to run a
+  scenario while capturing its spec, per-call issue times and
+  fault/rollout timeline events, and :func:`replay` to rebuild a Scenario
+  whose report fingerprint is byte-identical to the recorded run;
+* :mod:`repro.traffic.fuzz` — a Hypothesis-backed generator of random
+  worlds × traffic shapes × fault schedules × rollout plans asserting the
+  §6/§5.7 invariants and replay byte-identity, with failing scenarios
+  minimised and serialised as replayable traces.
+
+The trace and fuzz layers sit *above* the cluster package (they build
+Scenarios), while ``repro.cluster`` itself only needs the arrivals layer —
+so this ``__init__`` imports arrivals eagerly and loads the heavier
+submodules lazily, keeping the import graph acyclic.
+"""
+
+from repro.traffic.arrivals import (
+    ArrivalProcess,
+    ClientChurn,
+    Diurnal,
+    FlashCrowd,
+    ParetoHeavyTail,
+    Poisson,
+    resolve_offsets,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "Poisson",
+    "ParetoHeavyTail",
+    "Diurnal",
+    "FlashCrowd",
+    "ClientChurn",
+    "resolve_offsets",
+    "TraceReader",
+    "TraceWriter",
+    "record",
+    "replay",
+    "TRACE_FORMAT",
+]
+
+#: Names served lazily from repro.traffic.trace (PEP 562): the trace layer
+#: imports the cluster package, which imports the arrivals layer — eager
+#: re-export here would close that loop during interpreter start-up.
+_TRACE_EXPORTS = ("TraceReader", "TraceWriter", "record", "replay", "TRACE_FORMAT")
+
+
+def __getattr__(name: str):
+    if name in _TRACE_EXPORTS:
+        from repro.traffic import trace
+
+        return getattr(trace, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,230 @@
+"""Trace record/replay: the versioned JSONL format and byte-exact replay."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import CohortModel, Scenario, op
+from repro.cluster.presets import fault_drill_scenario
+from repro.errors import TraceError
+from repro.evolve import rolling, upgrade
+from repro.faults import RetryPolicy, crash, heal, partition, restart
+from repro.net import LatencyModel
+from repro.rmitypes import STRING
+from repro.traffic import TRACE_FORMAT, Poisson, TraceReader, record, replay
+from repro.traffic.trace import (
+    echo_body,
+    fingerprint_digest,
+    register_trace_body,
+    scenario_from_spec,
+    scenario_to_spec,
+)
+
+
+def small_world(
+    *,
+    soap_weight: float = 0.5,
+    with_faults: bool = True,
+    with_rollout: bool = False,
+    arrival=0.001,
+    cohort: CohortModel | None = None,
+    clients: int = 24,
+) -> Scenario:
+    echo = op("echo", (("message", STRING),), STRING, body=echo_body)
+    scenario = (
+        Scenario(name="trace-world")
+        .servers(2)
+        .service("EchoSoap", [echo], technology="soap", replicas=2)
+        .service("EchoCorba", [echo], technology="corba", replicas=2)
+        .clients(
+            clients,
+            protocol_mix={"soap": soap_weight, "corba": round(1 - soap_weight, 2)},
+            calls=2,
+            operation="echo",
+            arguments=("hi",),
+            arrival=arrival,
+            retry=RetryPolicy(max_attempts=3, timeout=0.08, backoff=0.005),
+            cohort=cohort,
+        )
+    )
+    if with_faults:
+        scenario.at(0.02, crash("server-1")).at(0.08, restart("server-1"))
+        scenario.at(0.03, partition("server-2")).at(0.07, heal("server-2"))
+    if with_rollout:
+        echo_v2 = op("echo_v2", (("message", STRING),), STRING, body=echo_body)
+        scenario.at(
+            0.04,
+            rolling(
+                "EchoSoap",
+                upgrade(add=[echo_v2], remove=["echo"], successors={"echo": "echo_v2"}),
+                batch_size=1,
+                drain=0.005,
+            ),
+        )
+    return scenario
+
+
+class TestTraceFormat:
+    def test_header_spec_calls_summary(self, tmp_path):
+        path = tmp_path / "world.jsonl"
+        report, reader = record(small_world(with_faults=False), path)
+        kinds = [record_["kind"] for record_ in reader.records]
+        assert kinds[0] == "header"
+        assert kinds[1] == "scenario"
+        assert kinds[-1] == "summary"
+        assert reader.header["format"] == TRACE_FORMAT
+        # One call record per completed (classified) call.
+        completed = sum(len(client.rtts) for client in report.clients)
+        assert len(reader.calls) == completed
+        assert reader.summary["fingerprint_sha256"] == fingerprint_digest(report)
+        # The file itself is plain JSONL.
+        lines = path.read_text().splitlines()
+        assert all(json.loads(line) for line in lines)
+        assert len(lines) == len(reader.records)
+
+    def test_timeline_firings_recorded(self, tmp_path):
+        report, reader = record(small_world(), tmp_path / "t.jsonl")
+        fired = [event["event"]["kind"] for event in reader.timeline_events]
+        assert sorted(fired) == ["crash", "heal", "partition", "restart"]
+
+    def test_until_round_trips(self, tmp_path):
+        _, reader = record(small_world(with_faults=False), tmp_path / "u.jsonl", until=0.5)
+        assert reader.until == 0.5
+
+    def test_rejects_non_trace_file(self, tmp_path):
+        path = tmp_path / "junk.jsonl"
+        path.write_text('{"kind": "something"}\n')
+        with pytest.raises(TraceError, match="missing header"):
+            TraceReader(path)
+
+    def test_rejects_unknown_format(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text('{"kind": "header", "format": "repro-trace/99"}\n')
+        with pytest.raises(TraceError, match="unsupported trace format"):
+            TraceReader(path)
+
+    def test_rejects_malformed_json(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"kind": "header", "format": "%s"}\nnot json\n' % TRACE_FORMAT)
+        with pytest.raises(TraceError, match="malformed trace record"):
+            TraceReader(path)
+
+
+class TestSpecValidation:
+    def test_unregistered_body_rejected(self):
+        scenario = Scenario().service(
+            "Echo", [op("echo", (("m", STRING),), STRING, body=lambda _self, m: m)]
+        )
+        with pytest.raises(TraceError, match="not traceable: register it"):
+            scenario_to_spec(scenario)
+
+    def test_opaque_timeline_action_rejected(self):
+        scenario = small_world(with_faults=False).at(0.01, lambda runtime: None)
+        with pytest.raises(TraceError, match="opaque"):
+            scenario_to_spec(scenario)
+
+    def test_custom_latency_rejected(self):
+        with pytest.raises(TraceError, match="latency"):
+            scenario_to_spec(Scenario(latency=LatencyModel()))
+
+    def test_non_scalar_arguments_rejected(self):
+        scenario = Scenario().service("Echo", [op("echo")]).clients(
+            1, service="Echo", arguments=(["nested"],)
+        )
+        with pytest.raises(TraceError, match="JSON scalars"):
+            scenario_to_spec(scenario)
+
+    def test_offsets_count_mismatch_rejected(self):
+        spec = scenario_to_spec(small_world(with_faults=False))
+        spec["client_groups"][0]["offsets"] = [0.0]
+        with pytest.raises(TraceError, match="offsets"):
+            scenario_from_spec(spec)
+
+    def test_unknown_body_name_rejected_on_replay(self):
+        spec = scenario_to_spec(small_world(with_faults=False))
+        spec["services"][0]["operations"][0]["body"] = "never-registered"
+        with pytest.raises(TraceError, match="unregistered operation body"):
+            scenario_from_spec(spec)
+
+    def test_register_trace_body_round_trips(self):
+        def shout(_self, message):
+            return str(message).upper()
+
+        register_trace_body("test-shout", shout)
+        scenario = Scenario().service(
+            "Loud", [op("shout", (("m", STRING),), STRING, body=shout)]
+        )
+        spec = scenario_to_spec(scenario)
+        assert spec["services"][0]["operations"][0]["body"] == "test-shout"
+        rebuilt = scenario_from_spec(spec)
+        assert rebuilt._services[0].operations[0].body is shout
+
+
+class TestReplayByteIdentity:
+    def test_fault_drill_replays_byte_identical(self, tmp_path):
+        report, reader = record(fault_drill_scenario(clients=64), tmp_path / "d.jsonl")
+        replayed = replay(reader).run(until=reader.until)
+        assert replayed.fingerprint() == report.fingerprint()
+        assert fingerprint_digest(replayed) == reader.fingerprint_digest
+
+    def test_replay_accepts_a_path(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        report, _ = record(small_world(with_faults=False), path)
+        assert replay(path).run().fingerprint() == report.fingerprint()
+
+    def test_seeded_arrivals_are_not_resampled(self, tmp_path):
+        # The replayed scenario carries the resolved floats, not the
+        # process: its group's arrival is a plain offsets table.
+        path = tmp_path / "s.jsonl"
+        process = Poisson(rate=400.0, seed=11)
+        report, reader = record(
+            small_world(with_faults=False, arrival=process), path
+        )
+        rebuilt = replay(reader)
+        group = rebuilt._client_groups[0]
+        assert not isinstance(group.arrival, Poisson)
+        assert [group.arrival(i) for i in range(group.count)] == process.offsets(
+            group.count
+        )
+        assert rebuilt.run().fingerprint() == report.fingerprint()
+
+    def test_cohort_world_replays_byte_identical(self, tmp_path):
+        report, reader = record(
+            small_world(
+                with_faults=True,
+                clients=200,
+                cohort=CohortModel(representatives=16),
+            ),
+            tmp_path / "c.jsonl",
+        )
+        assert len(reader.flows) > 0
+        replayed = replay(reader).run(until=reader.until)
+        assert replayed.cohort_fingerprint() == report.cohort_fingerprint()
+        assert replayed.fingerprint() == report.fingerprint()
+
+    @given(
+        soap_weight=st.sampled_from([0.25, 0.5, 0.75]),
+        with_faults=st.booleans(),
+        with_rollout=st.booleans(),
+        seed=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_record_replay_property(
+        self, tmp_path_factory, soap_weight, with_faults, with_rollout, seed
+    ):
+        # The satellite property: across soap/corba mixes, fault schedules
+        # and a rolling upgrade, record -> replay is always byte-identical.
+        path = tmp_path_factory.mktemp("traces") / "world.jsonl"
+        scenario = small_world(
+            soap_weight=soap_weight,
+            with_faults=with_faults,
+            with_rollout=with_rollout,
+            arrival=Poisson(rate=300.0, seed=seed),
+        )
+        report, reader = record(scenario, path)
+        replayed = replay(reader).run(until=reader.until)
+        assert replayed.fingerprint() == report.fingerprint()
+        assert replayed.cohort_fingerprint() == report.cohort_fingerprint()
