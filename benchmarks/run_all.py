@@ -360,6 +360,9 @@ def main(argv: list[str]) -> int:
         calls_per_sec = extra.get("calls_per_sec")
         if isinstance(calls_per_sec, (int, float)) and not isinstance(calls_per_sec, bool):
             line += f"  [{calls_per_sec:,.0f} simulated calls/s]"
+        obs_overhead = extra.get("obs_overhead_pct")
+        if isinstance(obs_overhead, (int, float)) and not isinstance(obs_overhead, bool):
+            line += f"  [obs overhead {obs_overhead:+.1f}%]"
         print(line)
     for regression in regressions:
         evidence = regression.get("deterministic_metrics")

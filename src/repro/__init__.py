@@ -30,6 +30,11 @@ and CORBA Servers* (Pallemulle, Goldman & Morgan, WUCSE-2004-75 / ICDCS
   and ``rolling`` / ``canary`` / ``abort_rollout`` upgrade drills that
   move an N-replica fleet to a new interface while hundreds of clients
   keep calling;
+* the **observability layer** (:mod:`repro.obs`) — deterministic causal
+  span trees per client call (propagated in-band over SOAP headers and
+  GIOP service contexts), simulated-time metrics sampling and a flight
+  recorder that auto-dumps the recent span window when an invariant
+  trips; any scenario opts in with ``scenario.run(obs=True)``;
 * experiment drivers reproducing every table and figure of the evaluation
   (:mod:`repro.experiments`), plus the legacy two-host testbed
   (:mod:`repro.testbed`), now a thin adapter over the cluster layer.
@@ -100,6 +105,7 @@ from repro.faults import (
     restore_link,
 )
 from repro.interface import InterfaceDescription, OperationSignature, Parameter
+from repro.obs import ObsConfig, Observability
 from repro.rmitypes import (
     ArrayType,
     BOOLEAN,
@@ -114,7 +120,7 @@ from repro.rmitypes import (
 )
 from repro.testbed import LiveDevelopmentTestbed, OperationSpec
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "ReproError",
@@ -157,6 +163,8 @@ __all__ = [
     "drop_link",
     "restore_link",
     "RetryPolicy",
+    "ObsConfig",
+    "Observability",
     "LiveDevelopmentTestbed",
     "OperationSpec",
     "__version__",

@@ -199,6 +199,16 @@ class CohortFlow:
         self._base_rtt = 0.0
         self._cpu_cost = 0.0
 
+    @property
+    def backlog(self) -> int:
+        """Modeled calls awaiting a retry tick plus settlements in flight.
+
+        The observability sampler's per-flow gauge: it spikes while replicas
+        are unreachable (carried batches pile up) and drains to zero as the
+        flow completes.
+        """
+        return sum(count for count, _attempt in self._carry) + self._outstanding
+
     # -- preparation ---------------------------------------------------------
 
     def prepare(self, driver: "FleetDriver") -> None:
@@ -347,6 +357,9 @@ class CohortFlow:
                 count=count,
                 attempt=attempt,
             )
+        obs = self.driver.obs
+        if obs is not None:
+            obs.instant("flow.route", flow=self.name, count=count, attempt=attempt)
         report = self.report
         network = self.world.network
         host_name = self.host.name
@@ -392,6 +405,17 @@ class CohortFlow:
         version = replica.publisher.version
         if version < watermark:
             report.recency_violations += share
+            obs = driver.obs
+            if obs is not None:
+                obs.note_recency_violation(
+                    flow=self.name,
+                    service=self.service,
+                    replica=replica.index,
+                    node=replica.node.name,
+                    version=version,
+                    watermark=watermark,
+                    calls=share,
+                )
         if version > self._seen_version:
             self._seen_version = version
         self.binding.observe(version)

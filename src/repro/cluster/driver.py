@@ -49,6 +49,7 @@ from repro.errors import NoAliveReplicaError, TransportError
 from repro.evolve.graph import ClientBinding
 from repro.faults.policy import RetryPolicy
 from repro.net.simnet import Host
+from repro.obs import hooks as _obs_hooks
 from repro.sim.scheduler import Scheduler
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -131,6 +132,13 @@ class _FleetClient:
         #: Highest published interface version observed via a successful
         #: reply (the §6 recency watermark; -1 = nothing observed yet).
         self._seen_version = -1
+        #: Open observability spans for the call in progress (None when
+        #: observability is off or spans are disabled).
+        self._call_span = None
+        self._attempt_span = None
+        #: Version tier ("compatible" / "fresh" / None) of the most recent
+        #: selection for this client — flight-dump context.
+        self._tier: str | None = None
 
     def prepare(self) -> None:
         """Fetch and parse the published interface documents (blocking)."""
@@ -162,6 +170,9 @@ class _FleetClient:
             operation, arguments = plan.stale_operation, ()
         self._attempts = 0
         self._call_started = self.driver.scheduler.now
+        obs = self.driver.obs
+        if obs is not None:
+            self._call_span = obs.begin_call(self, operation)
         self._issue(operation, arguments)
 
     # -- one attempt ---------------------------------------------------------
@@ -199,7 +210,24 @@ class _FleetClient:
                     else "attempt timeout"
                 ),
             )
-        deferred = self.stack.call(replica, operation, arguments)
+        obs = driver.obs
+        if obs is None:
+            deferred = self.stack.call(replica, operation, arguments)
+        else:
+            self._tier = (
+                obs.last_select[1] if obs.last_select is not None else None
+            )
+            span = obs.begin_attempt(self, operation, replica)
+            self._attempt_span = span
+            if span is not None:
+                # In-band propagation: the protocol stack reads the context
+                # while it builds the request (SOAP Header block / GIOP
+                # service-context slot), synchronously in this frame.
+                _obs_hooks.CONTEXT = span.context
+            try:
+                deferred = self.stack.call(replica, operation, arguments)
+            finally:
+                _obs_hooks.CONTEXT = None
         deferred.subscribe(
             lambda value, error, _delay: self._on_reply(
                 token, timeout_event, replica, operation, arguments, value, error
@@ -212,6 +240,9 @@ class _FleetClient:
         if token is not self._pending:
             return  # the attempt already resolved; this timer lost the race
         self._pending = None
+        obs = self.driver.obs
+        if obs is not None:
+            obs.end_attempt(self, "timeout")
         ServiceRegistry.end_call(replica)
         if self.driver.closed:
             return
@@ -243,6 +274,7 @@ class _FleetClient:
             # (above) but leave the frozen report and the call loop alone.
             return
         outcome = self.stack.classify(value, error)
+        obs = self.driver.obs
         if (
             self.retry is not None
             and isinstance(error, TransportError)
@@ -253,8 +285,12 @@ class _FleetClient:
             # recording a fault.  Deterministic application-level errors
             # (protocol faults, malformed replies) are never retried —
             # they would fail identically every time.
+            if obs is not None:
+                obs.end_attempt(self, "retry")
             self._attempt_failed(operation, arguments)
             return
+        if obs is not None:
+            obs.end_attempt(self, outcome)
         self.report.rtts.append(self.driver.scheduler.now - self._call_started)
         self._count(outcome)
         self._note_trace(operation, outcome, replica.index)
@@ -274,8 +310,12 @@ class _FleetClient:
             # client's stubs (a breaking publication): the §5.7 stale fault
             # is the visible signal — never a silently wrong answer — and
             # the client rebinds before its next call.
+            if obs is not None:
+                obs.end_call(self, outcome)
             self._rebind(replica)
             return
+        if obs is not None:
+            obs.end_call(self, outcome)
         self._after_call()
 
     # -- failure/retry path --------------------------------------------------
@@ -306,6 +346,9 @@ class _FleetClient:
         # Budget exhausted (or no policy): the call is abandoned — it has no
         # RTT and no outcome classification, only the abandoned counter.
         self.report.abandoned_calls += 1
+        obs = self.driver.obs
+        if obs is not None:
+            obs.end_call(self, "abandoned")
         self._note_trace(operation, "abandoned", None)
         self._after_call()
 
@@ -357,6 +400,8 @@ class _FleetClient:
             # next call routes elsewhere and rebinds there if still needed.
             self._after_call()
             return
+        obs = self.driver.obs
+        rebind_span = obs.begin_rebind(self, replica) if obs is not None else None
         deferred = self.stack.rebind_replica(replica)
 
         def rebound(_value: Any, error: BaseException | None, _delay: float) -> None:
@@ -366,6 +411,8 @@ class _FleetClient:
                 # The re-fetch failed (e.g. a crash aborted it in flight):
                 # the stubs were not refreshed, so this is not a rebind —
                 # the client simply resumes and will fault-and-retry again.
+                if obs is not None:
+                    obs.end_span(rebind_span, {"outcome": "failed"})
                 self._after_call()
                 return
             self.report.rebinds += 1
@@ -376,6 +423,11 @@ class _FleetClient:
             if description is not None:
                 self.binding.bind(replica.index, description)
                 self._re_resolve_operation(description)
+            if obs is not None:
+                obs.end_span(
+                    rebind_span,
+                    {"outcome": "rebound", "version": replica.publisher.version},
+                )
             self._after_call()
 
         deferred.subscribe(rebound)
@@ -393,6 +445,19 @@ class _FleetClient:
         self.binding.observe(version)
         if version < self._seen_version:
             self.report.recency_violations += 1
+            obs = self.driver.obs
+            if obs is not None:
+                obs.note_recency_violation(
+                    span=self._call_span,
+                    client=self.report.name,
+                    service=self.plan.service,
+                    operation=self._operation,
+                    replica=replica.index,
+                    node=replica.node.name if replica.node is not None else None,
+                    tier=self._tier,
+                    version=version,
+                    watermark=self._seen_version,
+                )
         else:
             self._seen_version = version
 
@@ -547,6 +612,7 @@ class FleetDriver:
         faults: "FaultInjector | None" = None,
         cohorts: "Iterable[CohortFlow]" = (),
         trace: "Any | None" = None,
+        obs: "Any | None" = None,
     ) -> None:
         self.scheduler = scheduler
         self.registry = registry
@@ -559,6 +625,9 @@ class FleetDriver:
         #: outcomes, cohort-flow batches and timeline firings are streamed
         #: into it while the run is in flight.  ``None`` costs nothing.
         self.trace = trace
+        #: Optional installed :class:`repro.obs.Observability`: span/metric
+        #: hook sites all reduce to one ``is not None`` test when off.
+        self.obs = obs
         #: The world's fault injector, when one is wired in: successful
         #: replies stamp recovery times and the report gains availability
         #: metrics (downtime, recovery latency) derived from its outage log.
@@ -607,6 +676,8 @@ class FleetDriver:
                     nodes.append(replica.node)
         node_snapshots = [_NodeSnapshot(node) for node in nodes]
 
+        if self.obs is not None:
+            self.obs.begin_run(self)
         try:
             started_at = self.scheduler.now
             events_before = self.scheduler.dispatched_count
@@ -653,6 +724,8 @@ class FleetDriver:
         finally:
             # Whatever happened, leftover fleet events must go quiet.
             self.closed = True
+            if self.obs is not None:
+                self.obs.end_run()
 
         service_reports = []
         snapshot_by_replica = {id(s.replica): s for s in snapshots}
@@ -679,7 +752,7 @@ class FleetDriver:
             for record in service.rollout_history
             if record.started_at >= started_at
         ]
-        return ClusterReport(
+        report = ClusterReport(
             started_at=started_at,
             finished_at=finished_at,
             clients=[client.report for client in self.clients],
@@ -689,6 +762,11 @@ class FleetDriver:
             events_dispatched=self.scheduler.dispatched_count - events_before,
             cohorts=[flow.report for flow in self.flows],
         )
+        if self.obs is not None:
+            report.metrics = self.obs.metrics_report()
+            if self.trace is not None:
+                self.obs.flush_spans(self.trace)
+        return report
 
     def _guard(self, action: Callable[[], None]) -> Callable[[], None]:
         """Make a scripted event a no-op once this run's window has closed,

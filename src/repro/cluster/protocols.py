@@ -31,6 +31,7 @@ from repro.errors import ClusterError, CorbaUserException, MiddlewareError
 from repro.net.http import HttpClient
 from repro.net.simnet import Address, Host
 from repro.net.transport import Deferred
+from repro.obs import hooks as _obs_hooks
 from repro.soap.envelope import SoapRequest, SoapResponse
 from repro.soap.wsdl import parse_wsdl
 
@@ -137,6 +138,9 @@ class SoapProtocolClient(ProtocolClient):
         request = SoapRequest.for_call(
             operation, arguments, namespace=description.namespace, registry=registry
         )
+        context = _obs_hooks.CONTEXT
+        if context is not None:
+            request.trace_context = context.encode()
         body, body_wire = request.to_xml_and_wire()
         wire = self.http.request_async(
             "POST",

@@ -71,6 +71,7 @@ from typing import TYPE_CHECKING, Callable, Hashable
 from repro.errors import ClusterError, NoAliveReplicaError, ServiceNotFoundError
 from repro.evolve.graph import VersionGraph
 from repro.net.transport import RouteTable
+from repro.obs import hooks as _obs_hooks
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.sde.manager import ManagedServer
@@ -562,6 +563,7 @@ class ServiceEntry:
         if not self.replicas:
             raise ClusterError(f"service {self.name!r} has no replicas")
         candidates = self.replicas
+        tier = None
         if self.version_routing and binding is not None:
             fresh = [
                 replica
@@ -573,15 +575,27 @@ class ServiceEntry:
             ]
             if compatible:
                 candidates = compatible
+                tier = "compatible"
             elif fresh:
                 candidates = fresh
+                tier = "fresh"
             else:
+                if _obs_hooks.ACTIVE is not None:
+                    _obs_hooks.ACTIVE.note_no_alive(self.name)
                 raise NoAliveReplicaError(
                     f"every replica of {self.name!r} is down or publishes an "
                     f"interface older than the client already observed "
                     f"(watermark v{binding.seen_version})"
                 )
-        return self.policy.select(candidates, client_key)
+        try:
+            replica = self.policy.select(candidates, client_key)
+        except NoAliveReplicaError:
+            if _obs_hooks.ACTIVE is not None:
+                _obs_hooks.ACTIVE.note_no_alive(self.name)
+            raise
+        if _obs_hooks.ACTIVE is not None:
+            _obs_hooks.ACTIVE.note_select(self.name, tier, self.policy.name)
+        return replica
 
     def select_many(
         self,
@@ -621,9 +635,13 @@ class ServiceEntry:
             ]
             if compatible:
                 candidates = compatible
+                tier = "compatible"
             elif fresh:
                 candidates = fresh
+                tier = "fresh"
             else:
+                if _obs_hooks.ACTIVE is not None:
+                    _obs_hooks.ACTIVE.note_no_alive(self.name)
                 raise NoAliveReplicaError(
                     f"every replica of {self.name!r} is down or publishes an "
                     f"interface older than the client already observed "
@@ -631,8 +649,19 @@ class ServiceEntry:
                 )
             # The tier lists are pre-filtered, so the policy's default
             # alive-check suffices below.
-            return self.policy.select_many(candidates, client_key, count)
-        return self.policy.select_many(self.replicas, client_key, count, usable)
+            picks = self.policy.select_many(candidates, client_key, count)
+            if _obs_hooks.ACTIVE is not None:
+                _obs_hooks.ACTIVE.note_select(self.name, tier, self.policy.name)
+            return picks
+        try:
+            picks = self.policy.select_many(self.replicas, client_key, count, usable)
+        except NoAliveReplicaError:
+            if _obs_hooks.ACTIVE is not None:
+                _obs_hooks.ACTIVE.note_no_alive(self.name)
+            raise
+        if _obs_hooks.ACTIVE is not None:
+            _obs_hooks.ACTIVE.note_select(self.name, None, self.policy.name)
+        return picks
 
     def __repr__(self) -> str:
         return (

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.cluster.histogram import LatencyHistogram
 
@@ -385,6 +385,12 @@ class ClusterReport:
     #: deliberately exclude these; the ``total_modeled_*`` /
     #: ``simulated_clients`` aggregates fold them in.
     cohorts: list[CohortReport] = field(default_factory=list)
+    #: Sampled time-series gauges (:class:`repro.obs.MetricsReport`) when the
+    #: run had observability metrics on, else ``None``.  Deliberately *not*
+    #: part of :meth:`fingerprint`, so arming observability can never change
+    #: a scenario's report fingerprint; the series carry their own
+    #: :meth:`~repro.obs.MetricsReport.fingerprint`.
+    metrics: "Any | None" = field(default=None, compare=False)
 
     # -- lookups ------------------------------------------------------------
 

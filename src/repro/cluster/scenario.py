@@ -373,13 +373,22 @@ class Scenario:
         """Build the world (servers, services, registry) without running it."""
         return ScenarioRuntime(self)
 
-    def run(self, until: float | None = None, trace: Any | None = None) -> ClusterReport:
+    def run(
+        self,
+        until: float | None = None,
+        trace: Any | None = None,
+        obs: Any | None = None,
+    ) -> ClusterReport:
         """Build the world, publish every service, drive the fleet, report.
 
         ``trace`` is an optional :class:`repro.traffic.trace.TraceWriter`;
         use :func:`repro.traffic.record` for the full record protocol.
+        ``obs`` arms observability for the run: ``True`` for defaults, an
+        :class:`repro.obs.ObsConfig`, or a prepared
+        :class:`repro.obs.Observability` instance (pass the instance to read
+        spans/metrics/flight dumps back after the run).
         """
-        return self.build().run(until=until, trace=trace)
+        return self.build().run(until=until, trace=trace, obs=obs)
 
     def __repr__(self) -> str:
         return (
@@ -568,7 +577,12 @@ class ScenarioRuntime:
 
     # -- the measured run ---------------------------------------------------
 
-    def run(self, until: float | None = None, trace: Any | None = None) -> ClusterReport:
+    def run(
+        self,
+        until: float | None = None,
+        trace: Any | None = None,
+        obs: Any | None = None,
+    ) -> ClusterReport:
         """Publish where still needed, drive the declared fleet, and report.
 
         Client fleets need current interface documents, so services not yet
@@ -600,6 +614,11 @@ class ScenarioRuntime:
             if self.run_epoch == 1
             else []
         )
+        from repro.obs.api import Observability
+
+        observability = Observability.resolve(obs)
+        if observability is not None:
+            observability.install(self.world.scheduler)
         driver = FleetDriver(
             self.world.scheduler,
             self.registry,
@@ -611,8 +630,13 @@ class ScenarioRuntime:
             faults=self.fault_injector,
             cohorts=flows,
             trace=trace,
+            obs=observability,
         )
-        return driver.run()
+        try:
+            return driver.run()
+        finally:
+            if observability is not None:
+                observability.uninstall()
 
     # -- plan building ------------------------------------------------------
 

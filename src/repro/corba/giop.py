@@ -42,6 +42,11 @@ class RequestMessage:
     object_key: str
     operation: str
     arguments_cdr: bytes
+    #: Optional service-context slot (OMG portable-interceptor style): an
+    #: opaque payload — the observability layer's trace context — appended
+    #: after the arguments.  Empty contexts are not framed at all, so a
+    #: request without one is byte-identical to the historical encoding.
+    service_context: bytes = b""
 
     def to_bytes(self) -> bytes:
         """Serialise header + body."""
@@ -50,6 +55,8 @@ class RequestMessage:
         body.write_string(self.object_key)
         body.write_string(self.operation)
         body.write_bytes(self.arguments_cdr)
+        if self.service_context:
+            body.write_bytes(self.service_context)
         return _frame(MessageType.REQUEST, body.getvalue())
 
 
@@ -109,11 +116,19 @@ def parse_message(data: bytes) -> RequestMessage | ReplyMessage:
     stream = CdrInputStream(body)
     try:
         if message_type == MessageType.REQUEST:
+            request_id = stream.read_ulong()
+            object_key = stream.read_string()
+            operation = stream.read_string()
+            arguments_cdr = stream.read_bytes()
+            # The trailing service-context slot is optional: absent bytes
+            # decode to an empty context (old peers, untraced requests).
+            service_context = stream.read_bytes() if stream.remaining else b""
             return RequestMessage(
-                request_id=stream.read_ulong(),
-                object_key=stream.read_string(),
-                operation=stream.read_string(),
-                arguments_cdr=stream.read_bytes(),
+                request_id=request_id,
+                object_key=object_key,
+                operation=operation,
+                arguments_cdr=arguments_cdr,
+                service_context=service_context,
             )
         if message_type == MessageType.REPLY:
             return ReplyMessage(

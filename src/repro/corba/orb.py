@@ -48,6 +48,7 @@ from repro.net.transport import (
     Endpoint,
     ReplyOutcome,
 )
+from repro.obs import hooks as _obs_hooks
 from repro.sim.servercore import ServerCore
 
 _EPHEMERAL_BASE = 53000
@@ -141,6 +142,10 @@ class ServerOrb:
             return None
 
         request_size = len(message.payload)
+        if giop.service_context and _obs_hooks.ACTIVE is not None:
+            # Stage the incoming trace context for the call handler, which
+            # consumes (and clears) it synchronously inside ``invoke``.
+            _obs_hooks.SERVER_WIRE_CONTEXT = giop.service_context
         try:
             servant = self.poa.servant_for(giop.object_key)
             arguments = unmarshal_values(giop.arguments_cdr)
@@ -301,11 +306,16 @@ class ClientOrb:
         """
         request_id = next(self._request_ids)
         arguments_cdr = marshal_values(tuple(arguments))
+        # In-band trace propagation: an active client-side trace context
+        # rides the request's GIOP service-context slot (untraced calls
+        # frame nothing, keeping their bytes identical).
+        context = _obs_hooks.CONTEXT
         request = RequestMessage(
             request_id=request_id,
             object_key=ior.object_key,
             operation=operation,
             arguments_cdr=arguments_cdr,
+            service_context=context.encode_bytes() if context is not None else b"",
         )
         payload = request.to_bytes()
         scheduler = self.channel.scheduler

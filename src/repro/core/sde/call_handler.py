@@ -32,6 +32,7 @@ from repro.errors import (
 from repro.interface import OperationSignature
 from repro.jpie.dynamic_class import DynamicClass
 from repro.jpie.dynamic_instance import DynamicInstance
+from repro.obs import hooks as _obs_hooks
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.sde.manager import ManagedServer, SDEManager
@@ -115,6 +116,8 @@ class CallHandler:
         """
         outcome.operation = operation
         self.stats.calls_received += 1
+        if _obs_hooks.ACTIVE is not None:
+            _obs_hooks.ACTIVE.server_dispatch(self, operation, outcome)
         if self._stalled:
             self.stats.queued_while_stalled += 1
             self._stall_queue.append(lambda: self._process(operation, arguments, outcome))

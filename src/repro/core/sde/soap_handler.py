@@ -25,6 +25,7 @@ from repro.errors import (
 from repro.interface import OperationSignature
 from repro.net.http import HttpRequest, HttpResponse, HttpServer
 from repro.net.transport import Deferred
+from repro.obs import hooks as _obs_hooks
 from repro.rmitypes import TypeRegistry
 from repro.soap.envelope import SoapRequest, SoapResponse
 from repro.soap.faults import SoapFault
@@ -101,6 +102,10 @@ class SoapCallHandler(CallHandler):
                 self._processing_delay(len(request.body), len(body)),
             )
 
+        if soap_request.trace_context is not None and _obs_hooks.ACTIVE is not None:
+            # Staged for CallHandler.dispatch, which consumes and clears it
+            # synchronously before this frame returns.
+            _obs_hooks.SERVER_WIRE_CONTEXT = soap_request.trace_context
         self.dispatch(
             soap_request.operation,
             soap_request.arguments,

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 from repro.errors import EvolveError, RolloutError
+from repro.obs import hooks as _obs_hooks
 from repro.evolve.diff import (
     CLASS_BREAKING,
     CLASS_COMPATIBLE,
@@ -332,6 +333,13 @@ class RolloutController:
             started_at=self.scheduler.now,
         )
         self.report.waves.append(wave)
+        if _obs_hooks.ACTIVE is not None:
+            _obs_hooks.ACTIVE.instant(
+                "rollout.wave",
+                service=self.entry.name,
+                wave=wave.index,
+                replicas=wave.replicas,
+            )
         before = {
             replica.index: (
                 replica.publisher.published_document,
@@ -479,6 +487,10 @@ class RolloutController:
         self.report.finished_at = self.scheduler.now
         if self.entry.active_rollout is self:
             self.entry.active_rollout = None
+        if _obs_hooks.ACTIVE is not None:
+            _obs_hooks.ACTIVE.instant(
+                "rollout.finished", service=self.entry.name, state=state
+            )
 
     def __repr__(self) -> str:
         return (

@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import ConnectionAbortedError
 from repro.faults.profile import LinkFaultProfile
+from repro.obs import hooks as _obs_hooks
 from repro.util.rng import DeterministicRng
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -109,6 +110,8 @@ class FaultInjector:
         error = ConnectionAbortedError(f"server {node.name!r} crashed")
         for channel in self.network.client_channels:
             channel.abort_pending(node.name, error)
+        if _obs_hooks.ACTIVE is not None:
+            _obs_hooks.ACTIVE.instant("fault.crash", node=node.name)
         return node
 
     def restart(self, node: NodeRef) -> "ServerNode":
@@ -133,6 +136,8 @@ class FaultInjector:
         outages = self._outages.get(node.name)
         if outages and outages[-1].restored_at is None:
             outages[-1].restored_at = self.scheduler.now
+        if _obs_hooks.ACTIVE is not None:
+            _obs_hooks.ACTIVE.instant("fault.restart", node=node.name)
         return node
 
     # -- partitions ---------------------------------------------------------
@@ -147,23 +152,35 @@ class FaultInjector:
         name_a = self._host_name(a)
         if b is not None:
             self.network.partition(name_a, self._host_name(b))
+            if _obs_hooks.ACTIVE is not None:
+                _obs_hooks.ACTIVE.instant(
+                    "fault.partition", a=name_a, b=self._host_name(b)
+                )
             return
         for host in self.network.hosts:
             if host.name != name_a:
                 self.network.partition(name_a, host.name)
+        if _obs_hooks.ACTIVE is not None:
+            _obs_hooks.ACTIVE.instant("fault.partition", a=name_a, b="*")
 
     def heal(self, a: NodeRef | None = None, b: NodeRef | None = None) -> None:
         """Heal a partition pair, every partition of ``a``, or all of them."""
         if a is None:
             self.network.heal_all()
+            if _obs_hooks.ACTIVE is not None:
+                _obs_hooks.ACTIVE.instant("fault.heal", a="*", b="*")
             return
         name_a = self._host_name(a)
         if b is not None:
             self.network.heal(name_a, self._host_name(b))
+            if _obs_hooks.ACTIVE is not None:
+                _obs_hooks.ACTIVE.instant("fault.heal", a=name_a, b=self._host_name(b))
             return
         for pair in self.network.partitions:
             if name_a in pair:
                 self.network.heal(*pair)
+        if _obs_hooks.ACTIVE is not None:
+            _obs_hooks.ACTIVE.instant("fault.heal", a=name_a, b="*")
 
     # -- lossy links ----------------------------------------------------------
 

@@ -38,6 +38,7 @@ from repro.errors import (
 )
 from repro.errors import ConnectionRefusedError as SimConnectionRefusedError
 from repro.net.latency import LatencyModel, loopback_profile
+from repro.obs import hooks as _obs_hooks
 from repro.sim.scheduler import Event, Scheduler
 
 
@@ -421,12 +422,20 @@ class Network:
         if self._partitions and self.is_partitioned(source.host, destination.host):
             self.stats.messages_dropped += 1
             source_host.stats.messages_dropped += 1
+            if _obs_hooks.ACTIVE is not None:
+                _obs_hooks.ACTIVE.instant(
+                    "net.drop", reason="partition", source=source.host, to=destination.host
+                )
             return message
         if source_host.down or destination_host.down:
             # A crashed machine neither sends nor receives; dropping at
             # transmit time keeps the event queue free of doomed deliveries.
             self.stats.messages_dropped += 1
             source_host.stats.messages_dropped += 1
+            if _obs_hooks.ACTIVE is not None:
+                _obs_hooks.ACTIVE.instant(
+                    "net.drop", reason="host-down", source=source.host, to=destination.host
+                )
             return message
 
         scheduler = self.scheduler
@@ -439,6 +448,13 @@ class Network:
                 if drop:
                     self.stats.messages_dropped += 1
                     source_host.stats.messages_dropped += 1
+                    if _obs_hooks.ACTIVE is not None:
+                        _obs_hooks.ACTIVE.instant(
+                            "net.drop",
+                            reason="link-fault",
+                            source=source.host,
+                            to=destination.host,
+                        )
                     return message
                 if fault.jitter > 0.0:
                     # Jitter must not let a later message overtake an earlier
@@ -583,6 +599,13 @@ class Network:
                 # drop at delivery time (see the fault-model invariants).
                 stats.messages_dropped += 1
                 target.stats.messages_dropped += 1
+                if _obs_hooks.ACTIVE is not None:
+                    _obs_hooks.ACTIVE.instant(
+                        "net.drop",
+                        reason="delivery-host-down",
+                        source=message.source.host,
+                        to=message.destination.host,
+                    )
                 if pooling:
                     self._recycle_message(message)
                 continue

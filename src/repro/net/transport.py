@@ -48,6 +48,25 @@ T = TypeVar("T")
 #: exact instant of (and race with) the message in front of it.
 _STREAM_ORDER_EPSILON = 1e-9
 
+#: Transport-layer interceptors (the observability layer's tap): callables
+#: ``fn(kind, address, payload_size, description)`` invoked on every client
+#: send (``"client_send"``) and server receive (``"server_receive"``).
+#: Empty in the common case — the hot paths guard with one truthiness test,
+#: the same nil-cost discipline as ``Scheduler.tracing``.
+_INTERCEPTORS: list[Callable[[str, Any, int, str], None]] = []
+
+
+def register_interceptor(interceptor: Callable[[str, Any, int, str], None]) -> None:
+    """Install a transport interceptor (idempotent)."""
+    if interceptor not in _INTERCEPTORS:
+        _INTERCEPTORS.append(interceptor)
+
+
+def unregister_interceptor(interceptor: Callable[[str, Any, int, str], None]) -> None:
+    """Remove a transport interceptor (no-op when absent)."""
+    if interceptor in _INTERCEPTORS:
+        _INTERCEPTORS.remove(interceptor)
+
 
 def _send_in_order(
     scheduler,
@@ -396,6 +415,11 @@ class Endpoint:
 
     def _on_message(self, message: Message, host: Host) -> None:
         self.stats.requests_received += 1
+        if _INTERCEPTORS:
+            for interceptor in _INTERCEPTORS:
+                interceptor(
+                    "server_receive", message.source, len(message.payload), self.name
+                )
         connection = self.connection_for(message.source)
         seq = connection.begin_request()
         try:
@@ -693,6 +717,9 @@ class ClientChannel:
         description: str = "request",
     ) -> Deferred[T]:
         """Send ``payload`` and return a deferred for the parsed reply."""
+        if _INTERCEPTORS:
+            for interceptor in _INTERCEPTORS:
+                interceptor("client_send", destination, len(payload), description)
         deferred: Deferred[T] = Deferred(description)
         connection = self.connection_for(destination)
 

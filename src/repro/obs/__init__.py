@@ -1,0 +1,60 @@
+"""``repro.obs`` — deterministic causal tracing and time-series metrics.
+
+Three pillars (see ARCHITECTURE.md "Observability"):
+
+* **Causal spans** (:mod:`repro.obs.spans`) — a Dapper-style span tree per
+  client call, propagated in-band over both middleware stacks (a SOAP
+  header block, a GIOP service-context slot) and covering replica
+  selection, retries, server-side §5.7 stall queueing and rebinds;
+* **Time-series metrics** (:mod:`repro.obs.metrics`) — a sampler on the
+  simulation scheduler recording per-node/per-service/per-flow gauges at a
+  fixed simulated-time interval, attached to ``ClusterReport.metrics``;
+* **Flight recorder + exporters** (:mod:`repro.obs.recorder`,
+  :mod:`repro.obs.export`) — a bounded span ring auto-dumped when an
+  invariant trips, plus JSONL and Chrome ``trace_event`` (Perfetto)
+  exporters.
+
+Everything is off (and nil-cost) unless a run opts in::
+
+    report = scenario.run(obs=True)
+
+This ``__init__`` resolves its exports lazily (PEP 562) so the hot
+modules can import :mod:`repro.obs.hooks` — which imports nothing —
+without dragging the rest of the package (or an import cycle) into the
+fast path.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "ObsConfig": ("repro.obs.api", "ObsConfig"),
+    "Observability": ("repro.obs.api", "Observability"),
+    "TraceContext": ("repro.obs.context", "TraceContext"),
+    "Span": ("repro.obs.spans", "Span"),
+    "Tracer": ("repro.obs.spans", "Tracer"),
+    "MetricsSampler": ("repro.obs.metrics", "MetricsSampler"),
+    "MetricsReport": ("repro.obs.metrics", "MetricsReport"),
+    "FlightRecorder": ("repro.obs.recorder", "FlightRecorder"),
+    "export_spans_jsonl": ("repro.obs.export", "export_spans_jsonl"),
+    "export_chrome_trace": ("repro.obs.export", "export_chrome_trace"),
+    "export_metrics_json": ("repro.obs.export", "export_metrics_json"),
+    "chrome_trace_events": ("repro.obs.export", "chrome_trace_events"),
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

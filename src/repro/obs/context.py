@@ -1,0 +1,59 @@
+"""Trace-context propagation: the id pair that rides the wire.
+
+A :class:`TraceContext` is the minimal Dapper-style propagation unit — the
+trace id naming the whole causal tree and the span id of the immediate
+parent.  It encodes to a short ASCII token (``"<trace>.<span>"`` in hex)
+that both in-band channels carry verbatim:
+
+* SOAP — a ``<repro:TraceContext>`` header block inside ``soapenv:Header``
+  (W3C SOAP 1.1 extensible headers);
+* GIOP — a trailing service-context slot on the request message (OMG
+  CORBA portable-interceptor service contexts).
+
+Ids are minted from seeded sequence counters (:class:`repro.obs.spans
+.Tracer`), never from wall clock or ``os.urandom``, so the encoded bytes —
+and therefore message sizes and simulated latencies — are identical across
+runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class TraceContext:
+    """The (trace id, parent span id) pair propagated with a request."""
+
+    trace_id: int
+    span_id: int
+
+    def encode(self) -> str:
+        """The ASCII wire token (``"<trace-hex>.<span-hex>"``)."""
+        return f"{self.trace_id:x}.{self.span_id:x}"
+
+    def encode_bytes(self) -> bytes:
+        """The wire token as bytes (GIOP service-context payload)."""
+        return self.encode().encode("ascii")
+
+    @classmethod
+    def decode(cls, token: "str | bytes | None") -> "TraceContext | None":
+        """Parse a wire token; malformed or empty input decodes to None.
+
+        Tolerant by design: an unknown peer (or a fuzzer-mangled message)
+        must degrade to "no causal parent", never to a server fault.
+        """
+        if not token:
+            return None
+        if isinstance(token, bytes):
+            try:
+                token = token.decode("ascii")
+            except UnicodeDecodeError:
+                return None
+        head, separator, tail = token.partition(".")
+        if not separator:
+            return None
+        try:
+            return cls(int(head, 16), int(tail, 16))
+        except ValueError:
+            return None

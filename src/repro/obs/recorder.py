@@ -1,0 +1,78 @@
+"""Flight recorder: auto-dump the recent span window when an invariant trips.
+
+The recorder watches nothing itself — the invariant owners call
+:meth:`FlightRecorder.trip` at the exact code site where a violation is
+counted (§6 recency observation in the fleet driver and cohort flows, the
+silent-wrong-answer counter, a ``NoAliveReplicaError`` storm in the
+registry).  A trip snapshots the tracer's bounded ring plus every still-
+open span into a JSON-able dump whose span tree names the violating call,
+the replica it was routed to and the version tier the registry chose —
+the post-mortem a end-of-run aggregate can never reconstruct.
+
+Dumps are kept in memory (``dumps``) and, when a dump directory is
+configured, written to ``flight-<n>-<reason>.json``.  File names come from
+a sequence counter, never wall clock, so artifact names are deterministic;
+``max_dumps`` bounds both the list and the files so a violation *storm*
+cannot fill a disk.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.spans import Tracer, spans_to_dicts
+
+
+class FlightRecorder:
+    """Bounded dump-on-trip recorder over a :class:`Tracer`'s span ring."""
+
+    def __init__(
+        self,
+        tracer: Tracer,
+        dump_dir: "str | Path | None" = None,
+        max_dumps: int = 8,
+    ) -> None:
+        self.tracer = tracer
+        self.dump_dir = Path(dump_dir) if dump_dir is not None else None
+        self.max_dumps = max_dumps
+        #: In-memory dumps, oldest first (bounded by ``max_dumps``).
+        self.dumps: list[dict[str, Any]] = []
+        #: Trips seen after the dump budget was exhausted.
+        self.suppressed_trips = 0
+        self._counter = itertools.count(1)
+
+    def trip(self, reason: str, **detail: Any) -> "dict[str, Any] | None":
+        """Record one invariant violation; returns the dump (or None).
+
+        ``detail`` carries the violation's own coordinates (client, call,
+        replica, versions, tier); the span window supplies the causal
+        history leading up to it.
+        """
+        if len(self.dumps) >= self.max_dumps:
+            self.suppressed_trips += 1
+            return None
+        index = next(self._counter)
+        dump = {
+            "index": index,
+            "reason": reason,
+            "time": self.tracer.scheduler.now,
+            "detail": {key: detail[key] for key in sorted(detail)},
+            "spans": spans_to_dicts(self.tracer.finished),
+            "open_spans": spans_to_dicts(self.tracer.open_spans),
+        }
+        self.dumps.append(dump)
+        if self.dump_dir is not None:
+            self.dump_dir.mkdir(parents=True, exist_ok=True)
+            path = self.dump_dir / f"flight-{index:03d}-{reason}.json"
+            path.write_text(json.dumps(dump, indent=2, default=repr) + "\n")
+            dump["path"] = str(path)
+        return dump
+
+    def __repr__(self) -> str:
+        return (
+            f"FlightRecorder(dumps={len(self.dumps)}/{self.max_dumps}, "
+            f"suppressed={self.suppressed_trips})"
+        )

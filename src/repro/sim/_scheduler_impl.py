@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from typing import Any, Callable
 
 from repro.errors import DeadlockError, SchedulerError
@@ -168,7 +169,9 @@ class Scheduler:
         self._pending = 0
         self._cancelled_in_queue = 0
         self._last_event: Event | None = None
-        self._trace: list[tuple[float, str]] | None = None
+        #: Dispatch trace: a plain list, or a bounded deque when
+        #: ``enable_tracing`` was given a limit.
+        self._trace: "list[tuple[float, str]] | deque[tuple[float, str]] | None" = None
         #: Free list of recycled pooled events (see :meth:`schedule_pooled`).
         self._free: list[Event] = []
         #: Named partitions (see :meth:`partition`).  ``_extra_queues`` holds
@@ -207,13 +210,16 @@ class Scheduler:
         """The most recently scheduled event (used by delivery batching)."""
         return self._last_event
 
-    def enable_tracing(self) -> None:
+    def enable_tracing(self, limit: int | None = None) -> None:
         """Record ``(time, label)`` for every dispatched event.
 
         Tracing is used by the interleaving experiments (Figures 7 and 8) to
         report the exact order in which publication and RMI events occurred.
+        ``limit`` bounds the trace to the most recent entries (a ring
+        buffer, the same memory discipline as the observability layer's
+        span ring); ``None`` keeps the historical unbounded list.
         """
-        self._trace = []
+        self._trace = [] if limit is None else deque(maxlen=limit)
 
     @property
     def tracing(self) -> bool:

@@ -22,8 +22,14 @@ from repro.xmlutil import Namespaces, QName, XmlElement, parse, serialize
 from repro.xmlutil.serializer import escape_attribute, escape_text
 
 _ENVELOPE = QName(Namespaces.SOAP_ENVELOPE, "Envelope")
+_HEADER = QName(Namespaces.SOAP_ENVELOPE, "Header")
 _BODY = QName(Namespaces.SOAP_ENVELOPE, "Body")
 _FAULT = QName(Namespaces.SOAP_ENVELOPE, "Fault")
+
+#: Namespace of the observability trace-context header block (the SOAP 1.1
+#: extensible-header channel the causal tracer propagates ids through).
+TRACE_NAMESPACE = "urn:repro:obs"
+_TRACE_CONTEXT = QName(TRACE_NAMESPACE, "TraceContext")
 
 # -- serialisation fast path -------------------------------------------------
 #
@@ -118,11 +124,25 @@ def _valid_local_name(name: str) -> bool:
     return bool(name) and ":" not in name and " " not in name
 
 
-def _wrap_in_envelope(body_child: XmlElement) -> XmlElement:
+def _wrap_in_envelope(body_child: XmlElement, trace_context: str | None = None) -> XmlElement:
     envelope = XmlElement(_ENVELOPE)
+    if trace_context is not None:
+        header = envelope.add_child(XmlElement(_HEADER))
+        block = header.add_child(XmlElement(_TRACE_CONTEXT))
+        block.text = trace_context
     body = envelope.add_child(XmlElement(_BODY))
     body.add_child(body_child)
     return envelope
+
+
+def _header_trace_context(envelope: XmlElement) -> str | None:
+    header = envelope.find(_HEADER)
+    if header is None:
+        return None
+    block = header.find(_TRACE_CONTEXT)
+    if block is None:
+        return None
+    return block.text or None
 
 
 def _body_child(envelope: XmlElement, what: str) -> XmlElement:
@@ -144,6 +164,10 @@ class SoapRequest:
     arguments: tuple[Any, ...] = ()
     argument_types: tuple[RmiType, ...] = ()
     namespace: str = "urn:repro"
+    #: Optional causal-trace token carried in a soapenv:Header block.  ``None``
+    #: (the untraced case) keeps the envelope Header-free and byte-identical
+    #: to the historical wire format.
+    trace_context: str | None = None
 
     def __post_init__(self) -> None:
         if self.argument_types and len(self.argument_types) != len(self.arguments):
@@ -170,7 +194,7 @@ class SoapRequest:
         types = self.argument_types or tuple(infer_type(v) for v in self.arguments)
         for index, (value, rmi_type) in enumerate(zip(self.arguments, types)):
             call.add_child(encode_value(f"arg{index}", value, rmi_type))
-        return _wrap_in_envelope(call)
+        return _wrap_in_envelope(call, self.trace_context)
 
     def to_xml(self) -> str:
         """Serialise to the textual wire format."""
@@ -215,6 +239,10 @@ class SoapRequest:
 
     def _fast_body(self) -> str | None:
         """The Body's single child element as text, or ``None`` when unsafe."""
+        if self.trace_context is not None:
+            # Traced requests carry a Header block the cached skeleton does
+            # not include; the generic serialiser renders them.
+            return None
         if _envelope_skeleton(self.namespace) is None or not _valid_local_name(self.operation):
             return None
         types = self.argument_types or tuple(infer_type(v) for v in self.arguments)
@@ -261,6 +289,7 @@ class SoapRequest:
             arguments=tuple(arguments),
             argument_types=tuple(types),
             namespace=call.name.namespace or "urn:repro",
+            trace_context=_header_trace_context(envelope),
         )
 
 

@@ -20,7 +20,11 @@ asserts the reproduction's load-bearing invariants:
 
 Failures are minimised by Hypothesis's shrinker and the shrunken case's
 trace is left at ``$REPRO_FUZZ_ARTIFACTS/minimized-failure.jsonl`` (the
-CI fuzz job uploads it), so any red run ships a replayable reproduction::
+CI fuzz job uploads it), so any red run ships a replayable reproduction.
+The failing case is then re-run with :mod:`repro.obs` armed, leaving its
+span log (``minimized-failure.spans.jsonl``) and any flight-recorder
+``flight-*.json`` dumps beside the trace — the causal post-mortem, not
+just the reproduction::
 
     python -m pytest tests/traffic/test_fuzz.py --hypothesis-seed=0
 
@@ -54,6 +58,8 @@ from repro.traffic.trace import TraceReader, echo_body, record, replay
 #: Where a failing (shrunken) case's trace is copied for post-mortem replay.
 ARTIFACTS_ENV = "REPRO_FUZZ_ARTIFACTS"
 MINIMIZED_TRACE_NAME = "minimized-failure.jsonl"
+#: Span log of the failing case's diagnostic re-run (observability on).
+MINIMIZED_SPANS_NAME = "minimized-failure.spans.jsonl"
 
 
 # -- the case space ------------------------------------------------------------
@@ -222,6 +228,7 @@ def run_case(case: Mapping[str, Any], artifacts: str | Path | None = None) -> No
             )
         if violations:
             kept = _keep_artifact(trace_path, artifacts)
+            _keep_flight_recording(case, kept.parent)
             raise AssertionError(
                 "fuzz case violated invariants:\n- "
                 + "\n- ".join(violations)
@@ -241,6 +248,27 @@ def _keep_artifact(trace_path: Path, artifacts: str | Path | None) -> Path:
     destination = directory / MINIMIZED_TRACE_NAME
     shutil.copyfile(trace_path, destination)
     return destination
+
+
+def _keep_flight_recording(case: Mapping[str, Any], directory: Path) -> None:
+    """Re-run the failing case with the flight recorder armed.
+
+    The minimized trace alone replays the failure; this diagnostic re-run
+    adds the *causal* picture to the same artifacts directory — the full
+    span log (``minimized-failure.spans.jsonl``) plus any
+    ``flight-*.json`` dumps the invariant trips produced (a §6 recency
+    violation or a silent wrong answer trips the recorder at the exact
+    violating call, naming its client, replica and version tier).  Purely
+    best-effort: a diagnostics crash must never mask the primary failure.
+    """
+    from repro.obs import ObsConfig, Observability
+
+    obs = Observability(ObsConfig(dump_dir=directory))
+    try:
+        build_scenario(case).run(obs=obs)
+        obs.export_jsonl(directory / MINIMIZED_SPANS_NAME)
+    except Exception:  # pragma: no cover - diagnostics are best-effort
+        return
 
 
 # -- the driver ----------------------------------------------------------------

@@ -563,6 +563,16 @@ class TraceWriter:
             return
         self._write({"kind": "timeline", "t": time, "event": _event_to_json(meta)})
 
+    def note_span(self, span: Mapping[str, Any]) -> None:
+        """One finished observability span (``repro.obs``), already a dict.
+
+        Only written when the run was traced *and* observed
+        (``record(..., obs=...)`` / ``Scenario.run(trace=..., obs=...)``);
+        replay ignores the channel, so a trace with spans still replays to
+        the same fingerprint as one without.
+        """
+        self._write({"kind": "span", "span": dict(span)})
+
     def write_summary(self, report: "ClusterReport") -> None:
         self._write(
             {
@@ -630,6 +640,11 @@ class TraceReader:
         return [r for r in self.records if r.get("kind") == "timeline"]
 
     @property
+    def spans(self) -> list[dict[str, Any]]:
+        """Observability spans recorded alongside the run (may be empty)."""
+        return [r["span"] for r in self.records if r.get("kind") == "span"]
+
+    @property
     def summary(self) -> dict[str, Any] | None:
         for record in reversed(self.records):
             if record.get("kind") == "summary":
@@ -646,20 +661,25 @@ class TraceReader:
 
 
 def record(
-    scenario: Scenario, path: str | Path, until: float | None = None
+    scenario: Scenario,
+    path: str | Path,
+    until: float | None = None,
+    obs: Any | None = None,
 ) -> "tuple[ClusterReport, TraceReader]":
     """Run ``scenario`` while writing a trace of it to ``path``.
 
     The spec is serialised (and validated) *before* the run starts, so an
     untraceable scenario fails fast instead of after a long simulation.
-    Returns the run's report and a reader over the finished trace.
+    ``obs`` (see :meth:`Scenario.run`) additionally streams every finished
+    observability span into the trace as ``span`` records.  Returns the
+    run's report and a reader over the finished trace.
     """
     spec = scenario_to_spec(scenario)
     writer = TraceWriter(path)
     try:
         writer.write_header(scenario.name, until)
         writer.write_spec(spec)
-        report = scenario.run(until=until, trace=writer)
+        report = scenario.run(until=until, trace=writer, obs=obs)
         writer.write_summary(report)
     finally:
         writer.close()

@@ -80,6 +80,77 @@ class TestLatencyHistogram:
         two.add(0.030)
         assert one.fingerprint() != two.fingerprint()
 
+    def test_merge_with_empty_is_identity_both_ways(self):
+        """Merging an empty histogram in (or into one) changes nothing."""
+        populated = LatencyHistogram()
+        populated.add_many(0.010, 4)
+        populated.add(0.025)
+        before = populated.fingerprint()
+        populated.merge(LatencyHistogram())
+        assert populated.fingerprint() == before
+        assert populated.min_value == 0.010 and populated.max_value == 0.025
+        empty = LatencyHistogram()
+        empty.merge(populated)
+        assert empty.fingerprint() == before
+        both = LatencyHistogram()
+        both.merge(LatencyHistogram())
+        assert len(both) == 0
+        assert both.percentiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_single_bin_quantiles_stay_inside_observed_range(self):
+        """With every sample in one bin, all quantile levels collapse to the
+        clamped observed range — never a bare bin midpoint."""
+        histogram = LatencyHistogram()
+        histogram.add_many(0.0123, 1000)
+        for level in (0, 1, 50, 95, 99, 100):
+            assert histogram.percentile(level) == pytest.approx(0.0123)
+        assert histogram.mean == pytest.approx(0.0123)
+        spread = LatencyHistogram(bin_width=1.0)  # one wide bin, two values
+        spread.add(0.2)
+        spread.add(0.3)
+        for level in (0, 50, 100):
+            assert 0.2 <= spread.percentile(level) <= 0.3
+
+    @given(
+        parts=st.lists(
+            st.lists(
+                st.tuples(
+                    # Dyadic rationals: float addition over them is exact, so
+                    # the associativity claim can be byte-exact on ``total``.
+                    st.integers(min_value=0, max_value=256).map(lambda n: n / 1024.0),
+                    st.integers(min_value=1, max_value=5),
+                ),
+                max_size=20,
+            ),
+            min_size=3,
+            max_size=3,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_associative_and_order_insensitive(self, parts):
+        """(a ⊕ b) ⊕ c and a ⊕ (b ⊕ c) land on identical state — the
+        property cohort aggregation relies on when it folds per-flow
+        histograms in partition order."""
+
+        def histogram(samples):
+            built = LatencyHistogram()
+            for value, count in samples:
+                built.add_many(value, count)
+            return built
+
+        left = histogram(parts[0])
+        left.merge(histogram(parts[1]))
+        left.merge(histogram(parts[2]))
+        inner = histogram(parts[1])
+        inner.merge(histogram(parts[2]))
+        right = histogram(parts[0])
+        right.merge(inner)
+        assert left.fingerprint() == right.fingerprint()
+        reversed_order = histogram(parts[2])
+        reversed_order.merge(histogram(parts[1]))
+        reversed_order.merge(histogram(parts[0]))
+        assert left.fingerprint() == reversed_order.fingerprint()
+
     @given(
         samples=st.lists(
             st.floats(min_value=0.0, max_value=0.25, allow_nan=False),

@@ -1,0 +1,65 @@
+"""In-band context propagation over both wire formats.
+
+The SOAP channel is a ``<repro:TraceContext>`` block in ``soapenv:Header``;
+the GIOP channel is a trailing service-context slot on the request
+message.  Both must roundtrip the token verbatim — and, crucially, leave
+the wire **byte-identical** to the pre-observability format when no
+context is attached, so enabling the subsystem never moves an unobserved
+scenario's fingerprints.
+"""
+
+from __future__ import annotations
+
+from repro.corba.giop import RequestMessage, parse_message
+from repro.obs import TraceContext
+from repro.soap.envelope import TRACE_NAMESPACE, SoapRequest
+
+
+class TestSoapHeaderChannel:
+    def test_context_roundtrips_through_header_block(self):
+        request = SoapRequest.for_call("echo", ("hi",), namespace="urn:test")
+        request.trace_context = TraceContext(3, 7).encode()
+        xml = request.to_xml()
+        assert TRACE_NAMESPACE in xml
+        parsed = SoapRequest.from_xml(xml)
+        assert parsed.trace_context == "3.7"
+        assert parsed.operation == "echo"
+        assert parsed.arguments == ("hi",)
+        assert TraceContext.decode(parsed.trace_context) == TraceContext(3, 7)
+
+    def test_no_context_means_no_header_element(self):
+        xml = SoapRequest.for_call("echo", ("hi",)).to_xml()
+        assert "Header" not in xml
+        assert SoapRequest.from_xml(xml).trace_context is None
+
+    def test_context_does_not_disturb_body_bytes(self):
+        plain = SoapRequest.for_call("echo", ("hi",))
+        traced = SoapRequest.for_call("echo", ("hi",))
+        traced.trace_context = "1.2"
+        plain_xml, traced_xml = plain.to_xml(), traced.to_xml()
+        assert plain_xml != traced_xml
+        # Stripping the header recovers the untraced document exactly.
+        reparsed = SoapRequest.from_xml(traced_xml)
+        reparsed.trace_context = None
+        assert reparsed.to_xml() == plain_xml
+
+
+class TestGiopServiceContextChannel:
+    def test_context_roundtrips_through_service_context_slot(self):
+        request = RequestMessage(
+            7, "Echo", "echo", b"", service_context=TraceContext(3, 7).encode_bytes()
+        )
+        parsed = parse_message(request.to_bytes())
+        assert parsed.service_context == b"3.7"
+        assert parsed.request_id == 7
+        assert TraceContext.decode(parsed.service_context) == TraceContext(3, 7)
+
+    def test_empty_context_is_not_framed(self):
+        """The slot is trailing and optional: an untraced request's bytes
+        are identical to the pre-observability wire format."""
+        bare = RequestMessage(1, "Echo", "echo", b"abc")
+        explicit = RequestMessage(1, "Echo", "echo", b"abc", service_context=b"")
+        assert bare.to_bytes() == explicit.to_bytes()
+        traced = RequestMessage(1, "Echo", "echo", b"abc", service_context=b"1.2")
+        assert len(traced.to_bytes()) > len(bare.to_bytes())
+        assert parse_message(bare.to_bytes()).service_context == b""

@@ -12,6 +12,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 
 from repro.traffic.fuzz import (
+    MINIMIZED_SPANS_NAME,
     MINIMIZED_TRACE_NAME,
     build_scenario,
     case_strategy,
@@ -70,6 +71,13 @@ def test_violation_writes_a_replayable_artifact(tmp_path, monkeypatch):
     report = replay_artifact(artifact)
     # The artifact is a complete, runnable reproduction of the case.
     assert sum(len(client.rtts) for client in report.clients) == 6
+    # The diagnostic re-run left the causal span log beside the trace.
+    spans_log = tmp_path / MINIMIZED_SPANS_NAME
+    assert spans_log.exists()
+    import json
+
+    spans = [json.loads(line) for line in spans_log.read_text().splitlines()]
+    assert spans and any(span["kind"] == "server" for span in spans)
 
 
 def test_check_report_passes_on_a_clean_case():
