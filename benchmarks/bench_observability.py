@@ -97,3 +97,10 @@ def test_fault_drill_observability_overhead(benchmark):
         observed.metrics.times
     )
     benchmark.extra_info["deterministic_observed_events"] = observed.events_dispatched
+
+    # Per-component mean simulated latency (the run-diff attribution blob):
+    # run_all.py and `analyze diff --bench` use it to name the dominant
+    # regressed component when this benchmark's wall clock is flagged.
+    profile = obs.profile()
+    benchmark.extra_info["obs_profile"] = profile.component_means()
+    benchmark.extra_info["deterministic_attributed_calls"] = profile.call_count

@@ -38,7 +38,11 @@ independent signals.  Wall-clock-only slowdowns — including those with
 *identical* deterministic work — stay warnings/notes even under
 ``--strict``: a 2× wall-clock swing on identical work is routinely plain
 machine variance across CI runners, so failing on it would make the gate
-flaky.
+flaky.  Benchmarks that record an ``obs_profile`` blob (per-component mean
+simulated latency from ``repro.obs.analyze``) get their flagged
+regressions *attributed*: the warning and the STRICT line name the
+dominant regressed component (network / stall / core_wait / cpu /
+backoff / rebind), so a failing gate says which layer to look at.
 
 ``--compact`` prunes ``BENCH_results.json`` in place: each benchmark keeps
 only its most recent appearances (per quick/full mode), and runs left with
@@ -161,6 +165,37 @@ def load_trajectory() -> dict:
     return trajectory
 
 
+#: Latency components an ``obs_profile`` blob may carry (mean simulated
+#: seconds per call), in the analyzer's canonical order.
+PROFILE_COMPONENTS = ("network", "stall", "core_wait", "cpu", "backoff", "rebind")
+
+
+def dominant_component(before: "dict | None", now: "dict | None") -> "tuple[str, float, float] | None":
+    """The latency component whose mean grew most between two profiles.
+
+    ``before``/``now`` are ``obs_profile`` blobs from ``extra_info``
+    (component name -> mean simulated seconds, as produced by
+    ``LatencyProfile.component_means()``).  Returns ``(component,
+    before_mean_s, now_mean_s)`` or None when either blob is missing or no
+    component regressed.  Mirrors ``repro.obs.analyze.dominant_component``
+    — duplicated here because this runner must work without ``src`` on the
+    path; keep the two in sync.
+    """
+    if not isinstance(before, dict) or not isinstance(now, dict):
+        return None
+    deltas = {}
+    for name in PROFILE_COMPONENTS:
+        a, b = before.get(name), now.get(name)
+        if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+            deltas[name] = b - a
+    if not deltas:
+        return None
+    worst = max(sorted(deltas), key=lambda name: deltas[name])
+    if deltas[worst] <= 0:
+        return None
+    return worst, float(before[worst]), float(now[worst])
+
+
 def deterministic_metrics(bench: dict) -> dict[str, float]:
     """The deterministic workload metrics a benchmark record carries."""
     metrics = {}
@@ -217,6 +252,19 @@ def find_regressions(records: list[dict], trajectory: dict, quick: bool) -> list
             "current_s": round(now, 4),
             "factor": round(now / before_s, 2),
         }
+        dominant = dominant_component(
+            (before.get("extra_info") or {}).get("obs_profile"),
+            (bench.get("extra_info") or {}).get("obs_profile"),
+        )
+        if dominant is not None:
+            # Attribute the regression to the simulated-latency component
+            # that grew most (from the benchmark's obs_profile blob), so a
+            # flagged run names the layer to look at, not just the number.
+            regression["dominant_component"] = {
+                "component": dominant[0],
+                "previous_mean_s": dominant[1],
+                "current_mean_s": dominant[2],
+            }
         if shared and not grew and not shrank:
             # Identical simulated work, slower wall clock: per the flagging
             # policy this is not recorded as a regression, but it is still
@@ -378,6 +426,13 @@ def main(argv: list[str]) -> int:
             )
         else:
             corroboration = " (no deterministic metrics recorded to corroborate)"
+        dominant = regression.get("dominant_component")
+        if dominant:
+            corroboration += (
+                f" [dominant component: {dominant['component']} "
+                f"{dominant['previous_mean_s'] * 1e3:.3f}ms -> "
+                f"{dominant['current_mean_s'] * 1e3:.3f}ms]"
+            )
         print(
             f"  WARNING: {regression['name']} wall-clock regressed "
             f"{regression['previous_s']}s -> {regression['current_s']}s "
@@ -392,10 +447,17 @@ def main(argv: list[str]) -> int:
     if strict:
         corroborated = strict_failures(candidates)
         if corroborated:
+            names = []
+            for candidate in corroborated:
+                label = candidate["name"]
+                dominant = candidate.get("dominant_component")
+                if dominant:
+                    label += f" [dominant component: {dominant['component']}]"
+                names.append(label)
             print(
                 f"STRICT: {len(corroborated)} corroborated wall-clock "
                 "regression(s) (deterministic workload changed) — failing "
-                "the run: " + ", ".join(c["name"] for c in corroborated)
+                "the run: " + ", ".join(names)
             )
             if exit_code == 0:
                 exit_code = 3

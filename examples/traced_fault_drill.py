@@ -17,6 +17,13 @@ flag buys three artifacts:
   https://ui.perfetto.dev to scrub through the drill on the simulated
   timeline.
 
+On top, the analytics layer answers "explain my p99": the latency profile
+decomposes every call's RTT exactly into network / §5.7 stall / core
+queue / CPU / retry-backoff components (they sum to the measured RTT with
+zero residual — asserted below), shows which component grew in the
+top-decile calls, and the declared SLOs (latency, availability, §6
+recency) are evaluated with burn-rate alerts onto ``report.slo_results``.
+
 Everything is deterministic: span ids come from sequence counters and
 timestamps from virtual time, so two runs of this script produce
 byte-identical fingerprints (asserted at the end).
@@ -33,6 +40,9 @@ from repro import RetryPolicy, STRING, Scenario, crash, heal, op, partition, res
 from repro.core.sde import SDEConfig
 from repro.evolve import rolling, upgrade
 from repro.obs import ObsConfig, Observability
+from repro.obs.analyze import format_profile
+from repro.obs.slo import availability_slo, latency_slo, recency_slo
+from repro.obs.slo import format_results
 
 CLIENTS = 24
 
@@ -58,6 +68,11 @@ def build_world() -> Scenario:
         .at(0.040, rolling("Echo", upgrade(add=[echo_loud]), batch_size=1, drain=0.01))
         .at(0.070, heal("server-2"))
         .at(0.080, restart("server-1"))
+        .slo(
+            latency_slo("echo-latency", threshold_s=0.05, objective=0.9),
+            availability_slo("echo-availability", objective=0.999),
+            recency_slo("echo-recency"),
+        )
     )
 
 
@@ -93,16 +108,30 @@ def main() -> None:
         f"every {metrics.interval * 1e3:.0f} simulated ms"
     )
 
+    # "Explain my p99": decompose every call's RTT into exact components.
+    profile = obs.profile()
+    print()
+    print("latency attribution (where the simulated time went):")
+    print(format_profile(profile))
+    print()
+    print("SLO verdicts:")
+    print(format_results(report.slo_results))
+    print()
+
     jsonl = obs.export_jsonl(out_dir / "traced_fault_drill.spans.jsonl")
     chrome = obs.export_chrome(out_dir / "traced_fault_drill.perfetto.json")
     metrics_path = obs.export_metrics(out_dir / "traced_fault_drill.metrics.json")
+    profile_path = obs.export_profile(out_dir / "traced_fault_drill.profile.json")
     print(f"exported: {jsonl}")
     print(f"exported: {chrome}   <- load this at https://ui.perfetto.dev")
     print(f"exported: {metrics_path}")
+    print(f"exported: {profile_path}")
 
     assert report.total_successes == report.total_calls
     assert report.total_recency_violations == 0, "§6 must hold across the drill"
     assert servers and all(span.parent_id is not None for span in servers)
+    assert profile.max_residual_ns == 0, "components must sum exactly to each RTT"
+    assert all(result.ok for result in report.slo_results if result.name != "echo-latency")
 
     rerun_obs = Observability()
     build_world().run(obs=rerun_obs)

@@ -764,6 +764,7 @@ class FleetDriver:
         )
         if self.obs is not None:
             report.metrics = self.obs.metrics_report()
+            report.slo_results = self.obs.evaluate_slos()
             if self.trace is not None:
                 self.obs.flush_spans(self.trace)
         return report

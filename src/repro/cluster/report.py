@@ -391,8 +391,29 @@ class ClusterReport:
     #: a scenario's report fingerprint; the series carry their own
     #: :meth:`~repro.obs.MetricsReport.fingerprint`.
     metrics: "Any | None" = field(default=None, compare=False)
+    #: Declarative SLO verdicts (:class:`repro.obs.slo.SLOResult`) when the
+    #: run's :class:`~repro.obs.ObsConfig` declared objectives, else empty.
+    #: Derived entirely from ``metrics``, so — like it — excluded from
+    #: :meth:`fingerprint`.
+    slo_results: "list[Any]" = field(default_factory=list, compare=False)
 
     # -- lookups ------------------------------------------------------------
+
+    def metrics_fingerprint(self) -> "str | None":
+        """Digest of the sampled metrics series, or None without metrics.
+
+        ``metrics`` is deliberately outside :meth:`fingerprint`; this is
+        the direct handle for asserting the series themselves are
+        byte-deterministic run-to-run.
+        """
+        return self.metrics.fingerprint() if self.metrics is not None else None
+
+    def slo(self, name: str) -> Any:
+        """The :class:`~repro.obs.slo.SLOResult` for the named objective."""
+        for result in self.slo_results:
+            if result.name == name:
+                return result
+        raise KeyError(f"no SLO {name!r} in this report")
 
     def service(self, name: str) -> ServiceReport:
         """The report for the named service."""

@@ -216,6 +216,7 @@ class Scenario:
         self._services: list[_ServiceSpec] = []
         self._client_groups: list[_ClientGroupSpec] = []
         self._timeline: list[tuple[float, Callable[..., None]]] = []
+        self._slos: list[Any] = []
 
     # -- machines -----------------------------------------------------------
 
@@ -353,6 +354,21 @@ class Scenario:
                 cohort=cohort,
             )
         )
+        return self
+
+    # -- objectives ---------------------------------------------------------
+
+    def slo(self, *objectives: Any) -> "Scenario":
+        """Declare service-level objectives evaluated after every run.
+
+        ``objectives`` are :class:`repro.obs.slo.SLO` declarations (see
+        :func:`~repro.obs.slo.latency_slo` and friends).  Declaring any
+        arms observability metrics automatically if ``run(obs=...)`` does
+        not: good/total series land in ``report.metrics`` and verdicts
+        (compliance plus multi-window burn-rate alerts) on
+        ``report.slo_results``.
+        """
+        self._slos.extend(objectives)
         return self
 
     # -- timeline -----------------------------------------------------------
@@ -617,6 +633,17 @@ class ScenarioRuntime:
         from repro.obs.api import Observability
 
         observability = Observability.resolve(obs)
+        slos = tuple(self.scenario._slos)
+        if slos:
+            # Declared objectives arm metrics on their own; an explicit
+            # obs argument keeps its config and merely gains the SLOs
+            # (unless it already declares its own set, which wins).
+            from repro.obs.api import ObsConfig
+
+            if observability is None:
+                observability = Observability(ObsConfig(slos=slos))
+            elif not observability.config.slos:
+                observability.config = replace(observability.config, slos=slos)
         if observability is not None:
             observability.install(self.world.scheduler)
         driver = FleetDriver(

@@ -39,6 +39,7 @@ from typing import Any, Callable, Generic, Hashable, TypeVar, Union
 
 from repro.errors import ConnectionAbortedError, TransportError
 from repro.net.simnet import Address, Host, Message
+from repro.obs import hooks as _obs_hooks
 from repro.sim.latch import CompletionLatch
 from repro.sim.servercore import ServerCore
 
@@ -464,8 +465,17 @@ class Endpoint:
             # to drop the reply.
             connection.resolve(seq, None)
             return
-        if delay > 0 and self.cores is not None:
-            delay = self.cores.charge(delay)
+        if delay > 0:
+            cost = delay
+            if self.cores is not None:
+                delay = self.cores.charge(cost)
+            active = _obs_hooks.ACTIVE
+            if active is not None:
+                # Tell the tracer how the processing delay splits into CPU
+                # service vs bounded-core queue wait, so the analyzer can
+                # attribute it; same synchronous frame as the dispatch that
+                # just closed its server span.
+                active.note_server_charge(cost, delay - cost)
         if delay > 0:
             scheduler = self.scheduler
             scheduler.schedule_pooled(

@@ -14,6 +14,13 @@ Three pillars (see ARCHITECTURE.md "Observability"):
   invariant trips, plus JSONL and Chrome ``trace_event`` (Perfetto)
   exporters.
 
+On top sits the analytics layer: :mod:`repro.obs.analyze` decomposes
+every call's RTT exactly into named latency components (critical-path
+attribution, tail attribution, run-diff) and :mod:`repro.obs.slo`
+evaluates declarative latency/availability/recency objectives with
+multi-window burn-rate alerts over the sampled series.  Both are pure
+post-processing with a CLI front door, ``python -m repro.obs.analyze``.
+
 Everything is off (and nil-cost) unless a run opts in::
 
     report = scenario.run(obs=True)
@@ -39,6 +46,20 @@ _EXPORTS = {
     "export_chrome_trace": ("repro.obs.export", "export_chrome_trace"),
     "export_metrics_json": ("repro.obs.export", "export_metrics_json"),
     "chrome_trace_events": ("repro.obs.export", "chrome_trace_events"),
+    "CallAttribution": ("repro.obs.analyze", "CallAttribution"),
+    "LatencyProfile": ("repro.obs.analyze", "LatencyProfile"),
+    "ProfileDiff": ("repro.obs.analyze", "ProfileDiff"),
+    "attribute_calls": ("repro.obs.analyze", "attribute_calls"),
+    "build_profile": ("repro.obs.analyze", "build_profile"),
+    "diff_profiles": ("repro.obs.analyze", "diff_profiles"),
+    "load_spans": ("repro.obs.analyze", "load_spans"),
+    "SLO": ("repro.obs.slo", "SLO"),
+    "SLOResult": ("repro.obs.slo", "SLOResult"),
+    "BurnWindow": ("repro.obs.slo", "BurnWindow"),
+    "latency_slo": ("repro.obs.slo", "latency_slo"),
+    "availability_slo": ("repro.obs.slo", "availability_slo"),
+    "recency_slo": ("repro.obs.slo", "recency_slo"),
+    "evaluate_slos": ("repro.obs.slo", "evaluate_slos"),
 }
 
 __all__ = sorted(_EXPORTS)

@@ -1,0 +1,8 @@
+"""``python -m repro.obs`` — alias for ``python -m repro.obs.analyze``."""
+
+import sys
+
+from repro.obs.analyze import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -29,6 +29,7 @@ unobserved one (while staying byte-identical run-to-run);
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
@@ -54,6 +55,13 @@ from repro.obs.spans import (
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.driver import FleetDriver
+    from repro.obs.analyze import LatencyProfile
+    from repro.obs.slo import SLO, SLOResult
+
+#: Environment variable consulted when ``ObsConfig.dump_dir`` is unset —
+#: lets parallel pytest workers / CI jobs redirect flight dumps without
+#: threading a config through every fixture.
+DUMP_DIR_ENV = "REPRO_OBS_DUMP_DIR"
 
 
 @dataclass(frozen=True)
@@ -70,7 +78,9 @@ class ObsConfig:
     ring_capacity: int = 4096
     #: Bound of each metrics series.
     max_samples: int = 4096
-    #: Where flight-recorder dumps are written (None = in-memory only).
+    #: Where flight-recorder dumps are written.  None consults the
+    #: ``REPRO_OBS_DUMP_DIR`` environment variable at install time and
+    #: falls back to in-memory only.
     dump_dir: "str | Path | None" = None
     #: Maximum flight dumps kept per run.
     max_dumps: int = 8
@@ -80,6 +90,10 @@ class ObsConfig:
     #: ring-bounded by ``ring_capacity`` (the public face of
     #: ``Scheduler.enable_tracing``).
     scheduler_trace: bool = False
+    #: Declarative :class:`~repro.obs.slo.SLO` objectives: each registers a
+    #: cumulative good/total gauge pair on the sampler and is evaluated
+    #: (compliance + burn-rate alerts) onto ``ClusterReport.slo_results``.
+    slos: "tuple[SLO, ...]" = ()
 
 
 class Observability:
@@ -97,6 +111,7 @@ class Observability:
         #: Transport-interceptor event count (client sends + server receives).
         self.transport_events = 0
         self._no_alive_streak = 0
+        self._last_server_span: "Span | None" = None
         self._installed = False
 
     # -- resolution and lifecycle -----------------------------------------
@@ -125,7 +140,10 @@ class Observability:
         config = self.config
         self.scheduler = scheduler
         self.tracer = Tracer(scheduler, config.ring_capacity)
-        self.recorder = FlightRecorder(self.tracer, config.dump_dir, config.max_dumps)
+        dump_dir = config.dump_dir
+        if dump_dir is None:
+            dump_dir = os.environ.get(DUMP_DIR_ENV) or None
+        self.recorder = FlightRecorder(self.tracer, dump_dir, config.max_dumps)
         self.sampler = (
             MetricsSampler(scheduler, config.sample_interval, config.max_samples)
             if config.metrics
@@ -134,6 +152,7 @@ class Observability:
         self.last_select = None
         self.transport_events = 0
         self._no_alive_streak = 0
+        self._last_server_span = None
         hooks.ACTIVE = self
         from repro.net import transport
 
@@ -226,6 +245,10 @@ class Observability:
                 return flow.backlog
 
             sampler.register(f"flow.{flow.name}.backlog", backlog)
+        if self.config.slos:
+            from repro.obs.slo import register_slo_gauges
+
+            register_slo_gauges(sampler, driver, self.config.slos)
         sampler.start()
 
     def end_run(self) -> None:
@@ -324,6 +347,7 @@ class Observability:
         """
         wire = hooks.SERVER_WIRE_CONTEXT
         hooks.SERVER_WIRE_CONTEXT = None
+        self._last_server_span = None
         if not self.config.spans or wire is None:
             return
         parent = TraceContext.decode(wire)
@@ -341,17 +365,42 @@ class Observability:
         )
         on_result, on_fault = outcome.on_result, outcome.on_fault
         tracer = self.tracer
+        obs = self
 
         def traced_result(value, signature):
             tracer.end(span, {"outcome": "result"})
+            obs._last_server_span = span
             on_result(value, signature)
 
         def traced_fault(error):
             tracer.end(span, {"outcome": "fault", "fault": type(error).__name__})
+            obs._last_server_span = span
             on_fault(error)
 
         outcome.on_result = traced_result
         outcome.on_fault = traced_fault
+
+    def note_server_charge(self, cost: float, wait: float) -> None:
+        """Stamp the just-closed server span with its CPU-charge window.
+
+        The transport endpoint calls this from the same synchronous frame
+        in which the dispatch outcome resolved: ``cost`` is the modeled
+        CPU service time and ``wait`` the queueing delay a bounded
+        :class:`~repro.sim.servercore.ServerCore` imposed before it.  The
+        span gains absolute ``cpu_from`` / ``cpu_until`` boundaries, which
+        is what lets :mod:`repro.obs.analyze` split reply latency into
+        ``core_wait`` + ``cpu`` instead of folding both into network time.
+        A settle that lands in a later frame (or with no traced dispatch,
+        e.g. an interface-document fetch) finds no pending span and is a
+        no-op — attribution degrades gracefully, the sum invariant holds
+        either way.
+        """
+        span = self._last_server_span
+        self._last_server_span = None
+        if span is None or span.end != self.scheduler.now:
+            return
+        span.attrs["cpu_from"] = span.end + wait
+        span.attrs["cpu_until"] = span.end + wait + cost
 
     # -- registry hooks ----------------------------------------------------
 
@@ -431,6 +480,20 @@ class Observability:
         """The sampled series (None when metrics are disabled)."""
         return self.sampler.report() if self.sampler is not None else None
 
+    def evaluate_slos(self) -> "list[SLOResult]":
+        """Evaluate the config's declared SLOs over the sampled series."""
+        if not self.config.slos:
+            return []
+        from repro.obs.slo import evaluate_slos
+
+        return evaluate_slos(self.metrics_report(), self.config.slos)
+
+    def profile(self) -> "LatencyProfile":
+        """Critical-path latency attribution over the finished spans."""
+        from repro.obs.analyze import build_profile
+
+        return build_profile(self.spans)
+
     def flush_spans(self, trace_writer) -> None:
         """Append every finished span to a ``repro-trace/1`` writer."""
         for span in self.spans:
@@ -445,11 +508,20 @@ class Observability:
         return export_chrome_trace(self.spans, path)
 
     def export_metrics(self, path: "str | Path") -> Path:
-        """Write the metrics series + fingerprint as JSON."""
+        """Write the metrics series + fingerprint (and any declared SLOs,
+        so ``analyze slo`` can re-evaluate them offline) as JSON."""
         report = self.metrics_report()
         if report is None:
             raise ReproError("metrics are disabled in this ObsConfig")
-        return export_metrics_json(report, path)
+        return export_metrics_json(report, path, slos=self.config.slos)
+
+    def export_profile(self, path: "str | Path") -> Path:
+        """Write the latency-attribution profile as JSON."""
+        import json
+
+        path = Path(path)
+        path.write_text(json.dumps(self.profile().to_dict(), indent=2) + "\n")
+        return path
 
     def __repr__(self) -> str:
         spans = len(self.tracer.finished) if self.tracer is not None else 0

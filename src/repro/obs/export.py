@@ -98,8 +98,19 @@ def export_chrome_trace(spans: Iterable[Span], path: "str | Path") -> Path:
     return path
 
 
-def export_metrics_json(report: MetricsReport, path: "str | Path") -> Path:
-    """Write a metrics report (series + fingerprint) as JSON."""
+def export_metrics_json(
+    report: MetricsReport, path: "str | Path", slos: Iterable = ()
+) -> Path:
+    """Write a metrics report (series + fingerprint) as JSON.
+
+    Declared :class:`~repro.obs.slo.SLO` objectives are embedded under a
+    ``"slos"`` key so ``python -m repro.obs.analyze slo`` can re-evaluate
+    compliance and burn rates offline from this one artifact.
+    """
     path = Path(path)
-    path.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+    payload = report.to_dict()
+    slo_specs = [slo.to_dict() for slo in slos]
+    if slo_specs:
+        payload["slos"] = slo_specs
+    path.write_text(json.dumps(payload, indent=2) + "\n")
     return path

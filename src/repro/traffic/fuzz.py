@@ -60,6 +60,9 @@ ARTIFACTS_ENV = "REPRO_FUZZ_ARTIFACTS"
 MINIMIZED_TRACE_NAME = "minimized-failure.jsonl"
 #: Span log of the failing case's diagnostic re-run (observability on).
 MINIMIZED_SPANS_NAME = "minimized-failure.spans.jsonl"
+#: Latency-attribution profile of the diagnostic re-run (where the failing
+#: case's simulated time went, per component/service/tier).
+MINIMIZED_PROFILE_NAME = "minimized-failure.profile.json"
 
 
 # -- the case space ------------------------------------------------------------
@@ -255,7 +258,9 @@ def _keep_flight_recording(case: Mapping[str, Any], directory: Path) -> None:
 
     The minimized trace alone replays the failure; this diagnostic re-run
     adds the *causal* picture to the same artifacts directory — the full
-    span log (``minimized-failure.spans.jsonl``) plus any
+    span log (``minimized-failure.spans.jsonl``), a latency-attribution
+    profile of the failing run (``minimized-failure.profile.json``, where
+    each call's simulated time went by component), plus any
     ``flight-*.json`` dumps the invariant trips produced (a §6 recency
     violation or a silent wrong answer trips the recorder at the exact
     violating call, naming its client, replica and version tier).  Purely
@@ -267,6 +272,7 @@ def _keep_flight_recording(case: Mapping[str, Any], directory: Path) -> None:
     try:
         build_scenario(case).run(obs=obs)
         obs.export_jsonl(directory / MINIMIZED_SPANS_NAME)
+        obs.export_profile(directory / MINIMIZED_PROFILE_NAME)
     except Exception:  # pragma: no cover - diagnostics are best-effort
         return
 

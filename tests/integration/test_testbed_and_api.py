@@ -18,7 +18,7 @@ from repro.errors import (
 
 class TestPublicApi:
     def test_version_exported(self):
-        assert repro.__version__ == "1.7.0"
+        assert repro.__version__ == "1.8.0"
 
     def test_quickstart_from_readme(self):
         testbed = LiveDevelopmentTestbed()

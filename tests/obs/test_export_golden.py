@@ -1,0 +1,121 @@
+"""Golden-file test for the Chrome ``trace_event`` exporter.
+
+The Perfetto-facing format is a contract with an external tool: field
+names (``ph``, ``ts``, ``dur``, ``cat``, ``args``), the microsecond time
+base, the complete-vs-instant phase split and the node-vs-kind track
+assignment must not drift silently.  The span set is built by hand on a
+fake clock (no simulation, no scenario churn) and the rendered payload is
+compared byte-for-byte against ``golden_chrome_trace.json``.
+
+If the exporter changes *deliberately*, regenerate the golden with::
+
+    PYTHONPATH=src python tests/obs/test_export_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.export import chrome_trace_events, export_chrome_trace
+from repro.obs.spans import (
+    KIND_ATTEMPT,
+    KIND_CALL,
+    KIND_SERVER,
+    Tracer,
+)
+
+GOLDEN = Path(__file__).with_name("golden_chrome_trace.json")
+
+
+class _Clock:
+    """A settable stand-in for the scheduler's virtual clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+
+def build_reference_spans():
+    """A small, fully hand-timed span tree covering every exporter branch:
+    a complete call/attempt/server chain, an in-span point event, a span
+    with a node track, a zero-duration completed span and an instant."""
+    clock = _Clock()
+    tracer = Tracer(clock, capacity=64)
+
+    clock.now = 0.001
+    call = tracer.begin(
+        "echo",
+        KIND_CALL,
+        attrs={"client": "client-0", "service": "Echo", "protocol": "soap"},
+    )
+    clock.now = 0.0015
+    attempt = tracer.begin(
+        "echo",
+        KIND_ATTEMPT,
+        parent=call,
+        attrs={"attempt": 1, "replica": 0, "node": "server-1", "tier": None},
+    )
+    attempt.add_event(0.0016, "transport.send", {"to": "server-1", "bytes": 128})
+    clock.now = 0.002
+    server = tracer.begin(
+        "server.echo",
+        KIND_SERVER,
+        parent=attempt.context,
+        attrs={"node": "server-1", "class": "Echo_v1", "queued": False},
+    )
+    clock.now = 0.004
+    tracer.end(server, {"outcome": "result", "cpu_from": 0.004, "cpu_until": 0.0045})
+    clock.now = 0.005
+    tracer.end(attempt, {"outcome": "success"})
+    tracer.end(call, {"outcome": "success"})
+    # A degenerate complete span (start == end) renders as an instant too.
+    zero = tracer.begin("rollout.wave", KIND_CALL, attrs={"wave": 2})
+    tracer.end(zero)
+    clock.now = 0.006
+    tracer.instant("fault.crash", attrs={"node": "server-1"})
+    return tracer.spans
+
+
+def render_payload() -> dict:
+    return {
+        "traceEvents": chrome_trace_events(build_reference_spans()),
+        "displayTimeUnit": "ms",
+    }
+
+
+class TestChromeExporterGolden:
+    def test_payload_matches_the_golden_file(self):
+        assert render_payload() == json.loads(GOLDEN.read_text())
+
+    def test_export_writes_the_same_payload(self, tmp_path):
+        path = export_chrome_trace(build_reference_spans(), tmp_path / "trace.json")
+        assert json.loads(path.read_text()) == json.loads(GOLDEN.read_text())
+
+    def test_phases_and_tracks(self):
+        events = chrome_trace_events(build_reference_spans())
+        by_key = {(event["name"], event["cat"]): event for event in events}
+        # Timed spans are complete events on the microsecond time base.
+        call = by_key[("echo", "call")]
+        attempt = by_key[("echo", "attempt")]
+        server = by_key[("server.echo", "server")]
+        assert call["ph"] == attempt["ph"] == server["ph"] == "X"
+        assert server["ts"] == 0.002 * 1e6 and server["dur"] == (0.004 - 0.002) * 1e6
+        # Server and attempt work land on the node's track; client work on
+        # the kind's.
+        assert server["tid"] == attempt["tid"] == "server-1"
+        assert call["tid"] == "call"
+        # Instants and zero-duration spans use the instant phase.
+        assert by_key[("fault.crash", "instant")]["ph"] == "i"
+        assert by_key[("rollout.wave", "call")]["ph"] == "i"
+        # In-span point events ride along with their owner's span id.
+        send = by_key[("transport.send", "event")]
+        assert send["ph"] == "i"
+        assert send["args"]["span_id"] == attempt["args"]["span_id"]
+        # Causality is preserved through args.
+        assert server["args"]["parent_id"] == attempt["args"]["span_id"]
+        assert attempt["args"]["parent_id"] == call["args"]["span_id"]
+
+
+if __name__ == "__main__":
+    GOLDEN.write_text(json.dumps(render_payload(), indent=2) + "\n")
+    print(f"regenerated {GOLDEN}")

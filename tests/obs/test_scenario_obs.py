@@ -57,9 +57,8 @@ class TestDrillDeterminism:
         report_one = _drill().run(obs=first)
         report_two = _drill().run(obs=second)
         assert first.span_fingerprint() == second.span_fingerprint()
-        assert (
-            report_one.metrics.fingerprint() == report_two.metrics.fingerprint()
-        )
+        assert report_one.metrics_fingerprint() is not None
+        assert report_one.metrics_fingerprint() == report_two.metrics_fingerprint()
         assert report_one.fingerprint() == report_two.fingerprint()
         assert first.tracer.finished_count == second.tracer.finished_count > 0
 
@@ -106,32 +105,36 @@ class TestObsOffIsInvisible:
         assert _obs_hooks.SERVER_WIRE_CONTEXT is None
 
 
+def _violation_scenario() -> Scenario:
+    """The engineered §6 violation from the failover suite: one replica
+    force-published ahead, the sticky client's replica crashes, and the
+    failover target still serves the older version."""
+
+    def publish_only_first_replica(runtime):
+        replica = runtime.replicas("Echo")[0]
+        replica.node.manager_interface.force_publication(replica.class_name)
+
+    return (
+        Scenario(name="obs-violation", sde_config=SDEConfig(generation_cost=0.01))
+        .servers(2)
+        .service("Echo", [_echo()], replicas=2, policy=POLICY_STICKY)
+        .clients(
+            2,
+            service="Echo",
+            calls=8,
+            arguments=("hi",),
+            think_time=0.02,
+            retry=RetryPolicy(max_attempts=4, timeout=0.5, backoff=0.005),
+        )
+        .at(0.030, edit("Echo", op("only_on_replica_0")))
+        .at(0.040, publish_only_first_replica)
+        .at(0.090, crash("server-1"))
+    )
+
+
 class TestRecencyViolationFlightDump:
     def _violation_scenario(self) -> Scenario:
-        """The engineered §6 violation from the failover suite: one replica
-        force-published ahead, the sticky client's replica crashes, and the
-        failover target still serves the older version."""
-
-        def publish_only_first_replica(runtime):
-            replica = runtime.replicas("Echo")[0]
-            replica.node.manager_interface.force_publication(replica.class_name)
-
-        return (
-            Scenario(name="obs-violation", sde_config=SDEConfig(generation_cost=0.01))
-            .servers(2)
-            .service("Echo", [_echo()], replicas=2, policy=POLICY_STICKY)
-            .clients(
-                2,
-                service="Echo",
-                calls=8,
-                arguments=("hi",),
-                think_time=0.02,
-                retry=RetryPolicy(max_attempts=4, timeout=0.5, backoff=0.005),
-            )
-            .at(0.030, edit("Echo", op("only_on_replica_0")))
-            .at(0.040, publish_only_first_replica)
-            .at(0.090, crash("server-1"))
-        )
+        return _violation_scenario()
 
     def test_violation_auto_dumps_named_flight_file(self, tmp_path):
         obs = Observability(ObsConfig(dump_dir=tmp_path))
@@ -161,12 +164,40 @@ class TestRecencyViolationFlightDump:
     def test_violation_dump_is_deterministic(self, tmp_path):
         first = Observability(ObsConfig(dump_dir=tmp_path / "a"))
         second = Observability(ObsConfig(dump_dir=tmp_path / "b"))
-        self._violation_scenario().run(obs=first)
-        self._violation_scenario().run(obs=second)
+        report_one = self._violation_scenario().run(obs=first)
+        report_two = self._violation_scenario().run(obs=second)
         strip = lambda dump: {k: v for k, v in dump.items() if k != "path"}
         assert [strip(d) for d in first.flight_dumps] == [
             strip(d) for d in second.flight_dumps
         ]
+        assert report_one.metrics_fingerprint() is not None
+        assert report_one.metrics_fingerprint() == report_two.metrics_fingerprint()
+
+
+class TestDumpDirEnv:
+    def test_env_var_redirects_flight_dumps(self, tmp_path, monkeypatch):
+        target = tmp_path / "env-dumps"
+        monkeypatch.setenv("REPRO_OBS_DUMP_DIR", str(target))
+        obs = Observability()
+        report = _violation_scenario().run(obs=obs)
+        assert report.total_recency_violations > 0
+        assert (target / "flight-001-recency-violation.json").exists()
+
+    def test_explicit_dump_dir_wins_over_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_DUMP_DIR", str(tmp_path / "env-dumps"))
+        explicit = tmp_path / "explicit-dumps"
+        obs = Observability(ObsConfig(dump_dir=explicit))
+        _violation_scenario().run(obs=obs)
+        assert (explicit / "flight-001-recency-violation.json").exists()
+        assert not (tmp_path / "env-dumps").exists()
+
+    def test_unset_env_keeps_dumps_in_memory_only(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_OBS_DUMP_DIR", raising=False)
+        monkeypatch.chdir(tmp_path)
+        obs = Observability()
+        _violation_scenario().run(obs=obs)
+        assert obs.flight_dumps and "path" not in obs.flight_dumps[0]
+        assert list(tmp_path.iterdir()) == []
 
 
 class TestPublicApiWiring:
